@@ -1,0 +1,133 @@
+//! Flooding over the initial edges only.
+//!
+//! Without establishing new connections, learning even a single global piece of
+//! information (say, the smallest identifier) takes `Θ(D)` rounds on a graph of
+//! diameter `D` — `Θ(n)` on the line. This baseline quantifies how much the overlay
+//! construction buys compared to staying on the initial topology.
+
+use overlay_graph::{DiGraph, NodeId};
+use overlay_netsim::{Ctx, Envelope, Protocol, SimConfig, Simulator};
+
+/// Per-node state of the leader-election-by-flooding baseline.
+#[derive(Debug)]
+pub struct FloodingNode {
+    neighbors: Vec<NodeId>,
+    best: NodeId,
+    rounds_without_change: usize,
+    done: bool,
+}
+
+impl FloodingNode {
+    /// Creates the state machine for node `id` with its (undirected) neighbors.
+    pub fn new(id: NodeId, neighbors: Vec<NodeId>) -> Self {
+        FloodingNode {
+            neighbors,
+            best: id,
+            rounds_without_change: 0,
+            done: false,
+        }
+    }
+
+    /// The smallest identifier this node has seen.
+    pub fn best(&self) -> NodeId {
+        self.best
+    }
+
+    /// The round in which this node last improved its estimate (used by the harness to
+    /// measure convergence time).
+    pub fn converged(&self) -> bool {
+        self.done
+    }
+}
+
+impl Protocol for FloodingNode {
+    type Message = NodeId;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NodeId>) {
+        for &v in &self.neighbors {
+            ctx.send_local(v, self.best);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, NodeId>, inbox: Vec<Envelope<NodeId>>) {
+        let mut improved = false;
+        for env in inbox {
+            if env.payload < self.best {
+                self.best = env.payload;
+                improved = true;
+            }
+        }
+        if improved {
+            self.rounds_without_change = 0;
+            for &v in &self.neighbors.clone() {
+                ctx.send_local(v, self.best);
+            }
+        } else {
+            self.rounds_without_change += 1;
+            // Nodes cannot detect global termination locally; the harness stops the
+            // simulation. We mark a node quiescent after it has been silent for a while
+            // so `all_done` eventually becomes true on small graphs.
+            if self.rounds_without_change > 2 * ctx.log_n() {
+                self.done = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Runs the flooding baseline and returns the number of rounds until every node knew
+/// the smallest identifier (measured by the harness, which can see the global state).
+pub fn rounds_until_all_know_minimum(g: &DiGraph, seed: u64, max_rounds: usize) -> Option<usize> {
+    let und = g.to_undirected();
+    let local_edges: Vec<Vec<NodeId>> = und.nodes().map(|v| und.distinct_neighbors(v)).collect();
+    let nodes: Vec<FloodingNode> = und
+        .nodes()
+        .map(|v| FloodingNode::new(v, und.distinct_neighbors(v)))
+        .collect();
+    let config = SimConfig {
+        seed,
+        local_edges: Some(local_edges),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(nodes, config);
+    let minimum = NodeId::from(0usize);
+    for round in 0..max_rounds {
+        if sim.nodes().iter().all(|n| n.best() == minimum) {
+            return Some(round);
+        }
+        sim.step();
+    }
+    if sim.nodes().iter().all(|n| n.best() == minimum) {
+        Some(max_rounds)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_graph::generators;
+
+    #[test]
+    fn flooding_on_line_takes_linear_rounds() {
+        let n = 64;
+        let rounds = rounds_until_all_know_minimum(&generators::line(n), 1, 2 * n).unwrap();
+        assert!(rounds >= n - 2, "line flooding must take ~n rounds, took {rounds}");
+        assert!(rounds <= n + 2);
+    }
+
+    #[test]
+    fn flooding_on_star_takes_constant_rounds() {
+        let rounds = rounds_until_all_know_minimum(&generators::star(50), 1, 20).unwrap();
+        assert!(rounds <= 3);
+    }
+
+    #[test]
+    fn flooding_respects_round_limit() {
+        assert_eq!(rounds_until_all_know_minimum(&generators::line(128), 1, 10), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion benches for the baselines (experiment E12 wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_baselines::{run_luby_mis, SupernodeMerge};
+use overlay_graph::generators;
+
+fn bench_supernode_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supernode_merge");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("line", n), &n, |b, &n| {
+            let g = generators::line(n);
+            b.iter(|| SupernodeMerge::new(1).run(&g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_luby_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("luby_mis");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("random-8-regular", n), &n, |b, &n| {
+            let g = generators::random_regular(n, 8, 3);
+            b.iter(|| run_luby_mis(&g, 1, 400));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_supernode_merge, bench_luby_mis);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the Theorem 1.1 pipeline (experiment E1/E5 wall-clock
+//! companion): wall-clock time of the full simulated construction per topology and
+//! size. The model-level quantities (rounds, messages) are produced by the
+//! `experiments` binary; these benches track the simulator's own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_core::{ExpanderParams, OverlayBuilder};
+use overlay_graph::generators;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_1_1_construction");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        for (name, g) in [
+            ("line", generators::line(n)),
+            ("cycle", generators::cycle(n)),
+            ("random-4-regular", generators::random_regular(n, 4, 7)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| {
+                    let params = ExpanderParams::for_n(g.node_count()).with_seed(1);
+                    OverlayBuilder::new(params).build(g).expect("pipeline succeeds")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_evolution_step(c: &mut Criterion) {
+    use overlay_core::EvolutionEngine;
+    let mut group = c.benchmark_group("single_evolution");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("line", n), &n, |b, &n| {
+            let params = ExpanderParams::for_n(n).with_seed(2);
+            b.iter(|| {
+                let mut engine =
+                    EvolutionEngine::from_initial(&generators::line(n), params).unwrap();
+                engine.evolve(false)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_evolution_step);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the hybrid-model applications (Theorems 1.2–1.5): wall-clock
+//! companions to experiments E6–E10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay_graph::generators;
+use overlay_hybrid::{
+    sparsify, ComponentsConfig, HybridComponents, HybridMis, HybridSpanningTree,
+};
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_1_2_components");
+    group.sample_size(10);
+    for &m in &[32usize, 128] {
+        let g = generators::disjoint_union(&[
+            generators::star(m),
+            generators::cycle(m.max(3)),
+            generators::line(m),
+        ]);
+        group.bench_with_input(BenchmarkId::new("forest", m), &g, |b, g| {
+            b.iter(|| {
+                HybridComponents::new(ComponentsConfig {
+                    seed: 3,
+                    walk_len: 12,
+                    ..ComponentsConfig::default()
+                })
+                .run(g)
+                .expect("components succeed")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_spanning_tree_and_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorems_1_3_and_1_5");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let g = generators::connected_random(n, 0.08, 5);
+        group.bench_with_input(BenchmarkId::new("spanning_tree", n), &g, |b, g| {
+            b.iter(|| {
+                HybridSpanningTree {
+                    seed: 5,
+                    walk_len: 12,
+                }
+                .run(g)
+                .expect("spanning tree succeeds")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mis", n), &g, |b, g| {
+            b.iter(|| HybridMis::default().run(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_reduction");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let g = generators::star(n);
+        group.bench_with_input(BenchmarkId::new("star", n), &g, |b, g| {
+            b.iter(|| sparsify(g, 7, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_spanning_tree_and_mis, bench_sparsify);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! The high-level construction pipeline (Theorem 1.1).
+//!
+//! [`OverlayBuilder`] composes the three distributed phases — `CreateExpander`, BFS,
+//! and tree binarization — into a single call that takes an arbitrary weakly connected
+//! constant-degree knowledge graph and returns a [`WellFormedTree`], together with the
+//! model-level costs (rounds per phase and message statistics) the paper's theorems
+//! bound.
+
+use crate::bfs::BfsNode;
+use crate::expander::ExpanderNode;
+use crate::wellformed::{BinarizeNode, WellFormedTree};
+use crate::{benign, ExpanderParams, OverlayError};
+use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
+use overlay_netsim::{CapacityModel, RunMetrics, SimConfig, Simulator};
+
+/// Round counts of the three phases of the pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundBreakdown {
+    /// Rounds of the `CreateExpander` phase (intro round + `L·(ℓ+1)` + 1).
+    pub construction: usize,
+    /// Rounds of the BFS phase.
+    pub bfs: usize,
+    /// Rounds of the binarization phase.
+    pub finalize: usize,
+}
+
+impl RoundBreakdown {
+    /// Total number of rounds across all phases.
+    pub fn total(&self) -> usize {
+        self.construction + self.bfs + self.finalize
+    }
+}
+
+/// Aggregated message statistics across all phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// The largest number of messages any node sent or received in any single round.
+    pub max_per_node_per_round: usize,
+    /// The largest total number of messages any single node sent over the whole run.
+    pub max_total_per_node: u64,
+    /// Total messages delivered.
+    pub total_delivered: u64,
+    /// Messages dropped at receivers (should be zero when the parameters are adequate).
+    pub dropped_receive: u64,
+    /// Messages dropped at senders (should be zero).
+    pub dropped_send: u64,
+}
+
+impl MessageStats {
+    fn absorb(&mut self, metrics: &RunMetrics) {
+        self.max_per_node_per_round = self
+            .max_per_node_per_round
+            .max(metrics.max_sent_in_any_round())
+            .max(metrics.max_received_in_any_round());
+        // Totals per node add up across phases; take the max over nodes of the sums.
+        self.total_delivered += metrics.total_delivered();
+        self.dropped_receive += metrics.total_dropped_receive();
+        self.dropped_send += metrics.total_dropped_send();
+    }
+}
+
+/// The output of the construction pipeline.
+#[derive(Clone, Debug)]
+pub struct OverlayResult {
+    /// The final evolution graph `G_L` (an expander of degree Δ, including self-loops).
+    pub expander: UGraph,
+    /// The BFS tree on `G_L` (parents before binarization).
+    pub bfs_parents: Vec<NodeId>,
+    /// The well-formed tree (constant degree, low diameter).
+    pub tree: WellFormedTree,
+    /// Round counts per phase.
+    pub rounds: RoundBreakdown,
+    /// Message statistics across all phases.
+    pub messages: MessageStats,
+}
+
+/// Builds well-formed trees from arbitrary weakly connected constant-degree graphs by
+/// running the paper's pipeline in the simulated NCC0 model.
+///
+/// # Example
+///
+/// ```
+/// use overlay_core::{ExpanderParams, OverlayBuilder};
+/// use overlay_graph::generators;
+///
+/// let g = generators::cycle(64);
+/// let params = ExpanderParams::for_n(64).with_seed(7);
+/// let result = OverlayBuilder::new(params).build(&g).unwrap();
+/// assert!(result.tree.is_valid());
+/// assert!(result.tree.max_degree() <= 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct OverlayBuilder {
+    params: ExpanderParams,
+}
+
+impl OverlayBuilder {
+    /// Creates a builder with the given parameters.
+    pub fn new(params: ExpanderParams) -> Self {
+        OverlayBuilder { params }
+    }
+
+    /// The builder's parameters.
+    pub fn params(&self) -> &ExpanderParams {
+        &self.params
+    }
+
+    /// Runs the full pipeline on the knowledge graph `g`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::InvalidParams`] if the parameters are inconsistent,
+    /// * [`OverlayError::EmptyGraph`] / [`OverlayError::Disconnected`] for unusable
+    ///   inputs,
+    /// * [`OverlayError::DegreeTooLarge`] if the initial degree is too large for the
+    ///   NCC0 pipeline,
+    /// * [`OverlayError::PhaseIncomplete`] if a phase exceeds its round budget (does not
+    ///   happen w.h.p. with the default parameters).
+    pub fn build(&self, g: &DiGraph) -> Result<OverlayResult, OverlayError> {
+        let params = self.params;
+        params.validate().map_err(OverlayError::InvalidParams)?;
+        if g.node_count() == 0 {
+            return Err(OverlayError::EmptyGraph);
+        }
+        if !analysis::is_connected(&g.to_undirected()) {
+            return Err(OverlayError::Disconnected);
+        }
+        // Validates the degree precondition; the protocol nodes recompute their slots
+        // locally during the run.
+        benign::make_benign(g, &params)?;
+
+        let n = g.node_count();
+        let mut messages = MessageStats::default();
+        let mut total_sent_per_node = vec![0u64; n];
+
+        // Phase 1: CreateExpander.
+        let expander_nodes: Vec<ExpanderNode> = g
+            .nodes()
+            .map(|v| {
+                let mut out: Vec<NodeId> = g.out_neighbors(v).to_vec();
+                out.sort_unstable();
+                out.dedup();
+                ExpanderNode::new(v, out, params)
+            })
+            .collect();
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 {
+                per_round: params.ncc0_cap,
+            },
+            seed: params.seed,
+            local_edges: None,
+        };
+        let mut sim = Simulator::new(expander_nodes, config);
+        let budget = ExpanderNode::total_rounds(&params) + 2;
+        let outcome = sim.run(budget);
+        if !outcome.all_done {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: "create-expander",
+                budget,
+            });
+        }
+        let construction_rounds = outcome.rounds;
+        messages.absorb(sim.metrics());
+        for (i, s) in sim.metrics().total_sent_per_node.iter().enumerate() {
+            total_sent_per_node[i] += s;
+        }
+        let nodes = sim.into_nodes();
+        let expander = slots_to_graph(&nodes);
+
+        // Phase 2: BFS on the expander.
+        let bfs_nodes: Vec<BfsNode> = expander
+            .nodes()
+            .map(|v| BfsNode::new(v, expander.distinct_neighbors(v), params.bfs_rounds))
+            .collect();
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 {
+                per_round: params.ncc0_cap,
+            },
+            seed: params.seed.wrapping_add(1),
+            local_edges: None,
+        };
+        let mut sim = Simulator::new(bfs_nodes, config);
+        let budget = BfsNode::total_rounds(params.bfs_rounds) + 1;
+        let outcome = sim.run(budget);
+        if !outcome.all_done {
+            return Err(OverlayError::PhaseIncomplete { phase: "bfs", budget });
+        }
+        let bfs_rounds = outcome.rounds;
+        messages.absorb(sim.metrics());
+        for (i, s) in sim.metrics().total_sent_per_node.iter().enumerate() {
+            total_sent_per_node[i] += s;
+        }
+        let bfs = sim.into_nodes();
+        let root = bfs[0].root();
+        for node in &bfs {
+            if node.root() != root || (node.id() != root && node.parent() == node.id()) {
+                return Err(OverlayError::PhaseIncomplete {
+                    phase: "bfs-convergence",
+                    budget,
+                });
+            }
+        }
+        let bfs_parents: Vec<NodeId> = bfs.iter().map(BfsNode::parent).collect();
+
+        // Phase 3: binarization into a well-formed tree.
+        let bin_nodes: Vec<BinarizeNode> = bfs
+            .iter()
+            .map(|b| BinarizeNode::new(b.id(), b.parent(), b.children().to_vec()))
+            .collect();
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 {
+                per_round: params.ncc0_cap,
+            },
+            seed: params.seed.wrapping_add(2),
+            local_edges: None,
+        };
+        let mut sim = Simulator::new(bin_nodes, config);
+        let budget = BinarizeNode::total_rounds() + 1;
+        let outcome = sim.run(budget);
+        if !outcome.all_done {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: "binarize",
+                budget,
+            });
+        }
+        let finalize_rounds = outcome.rounds;
+        messages.absorb(sim.metrics());
+        for (i, s) in sim.metrics().total_sent_per_node.iter().enumerate() {
+            total_sent_per_node[i] += s;
+        }
+        let parents: Vec<NodeId> = sim.nodes().iter().map(BinarizeNode::new_parent).collect();
+        let tree = WellFormedTree::from_parents(parents);
+
+        messages.max_total_per_node = total_sent_per_node.iter().copied().max().unwrap_or(0);
+        Ok(OverlayResult {
+            expander,
+            bfs_parents,
+            tree,
+            rounds: RoundBreakdown {
+                construction: construction_rounds,
+                bfs: bfs_rounds,
+                finalize: finalize_rounds,
+            },
+            messages,
+        })
+    }
+}
+
+/// Reconstructs the final evolution graph from the per-node slot lists.
+fn slots_to_graph(nodes: &[ExpanderNode]) -> UGraph {
+    let mut g = UGraph::new(nodes.len());
+    for node in nodes {
+        let v = node.id();
+        for &w in node.slots() {
+            if w == v {
+                g.add_self_loop(v);
+            } else if w > v {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_graph::generators;
+    use overlay_netsim::caps::log2_ceil;
+
+    fn build(g: &DiGraph, seed: u64) -> OverlayResult {
+        let params = ExpanderParams::for_n(g.node_count())
+            .with_seed(seed)
+            .with_walk_len(12);
+        OverlayBuilder::new(params).build(g).expect("pipeline must succeed")
+    }
+
+    #[test]
+    fn line_becomes_well_formed_tree() {
+        let n = 128;
+        let result = build(&generators::line(n), 21);
+        assert!(result.tree.is_valid());
+        assert_eq!(result.tree.node_count(), n);
+        assert!(result.tree.max_degree() <= 4);
+        let log_n = log2_ceil(n);
+        assert!(
+            result.tree.height() <= 4 * log_n * log2_ceil(log_n).max(1),
+            "height {} too large",
+            result.tree.height()
+        );
+        assert_eq!(result.messages.dropped_receive, 0);
+        assert_eq!(result.messages.dropped_send, 0);
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_in_n() {
+        let n = 64;
+        let result = build(&generators::cycle(n), 3);
+        let params = ExpanderParams::for_n(n);
+        // The round count is determined by the parameter schedule, all Θ(log n).
+        assert_eq!(
+            result.rounds.construction,
+            ExpanderNode::total_rounds(&ExpanderParams::for_n(n).with_walk_len(12))
+        );
+        assert_eq!(result.rounds.bfs, params.bfs_rounds + 1);
+        assert_eq!(result.rounds.finalize, 1);
+        assert_eq!(
+            result.rounds.total(),
+            result.rounds.construction + result.rounds.bfs + result.rounds.finalize
+        );
+    }
+
+    #[test]
+    fn message_bounds_hold() {
+        let n = 128;
+        let result = build(&generators::binary_tree(n), 5);
+        let params = ExpanderParams::for_n(n);
+        assert!(result.messages.max_per_node_per_round <= params.ncc0_cap);
+        // O(log^2 n) total messages per node, with a generous constant.
+        let log_n = log2_ceil(n) as u64;
+        assert!(
+            result.messages.max_total_per_node <= 40 * log_n * log_n,
+            "total per-node messages {} exceed O(log^2 n)",
+            result.messages.max_total_per_node
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let g = generators::disjoint_union(&[generators::line(8), generators::line(8)]);
+        let params = ExpanderParams::for_n(16);
+        assert_eq!(
+            OverlayBuilder::new(params).build(&g).unwrap_err(),
+            OverlayError::Disconnected
+        );
+    }
+
+    #[test]
+    fn rejects_empty_and_high_degree_graphs() {
+        let params = ExpanderParams::for_n(8);
+        assert_eq!(
+            OverlayBuilder::new(params).build(&DiGraph::new(0)).unwrap_err(),
+            OverlayError::EmptyGraph
+        );
+        let star = generators::star(64);
+        let params = ExpanderParams::for_n(64);
+        assert!(matches!(
+            OverlayBuilder::new(params).build(&star).unwrap_err(),
+            OverlayError::DegreeTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn bfs_parents_form_spanning_tree_of_expander() {
+        let n = 96;
+        let result = build(&generators::cycle(n), 9);
+        let simple = result.expander.simplify();
+        assert!(analysis::is_spanning_tree(&simple, &result.bfs_parents));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type of the overlay-construction pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the overlay-construction pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The supplied parameters are internally inconsistent.
+    InvalidParams(String),
+    /// The initial graph's degree is too large for the NCC0 pipeline; the hybrid
+    /// pipeline (crate `overlay-hybrid`) handles arbitrary degrees.
+    DegreeTooLarge {
+        /// The observed maximum (undirected) degree of the initial graph.
+        degree: usize,
+        /// The largest degree the chosen parameters support.
+        supported: usize,
+    },
+    /// The initial graph is empty.
+    EmptyGraph,
+    /// The initial graph is not weakly connected, which Theorem 1.1 requires
+    /// (use the connected-components pipeline of `overlay-hybrid` otherwise).
+    Disconnected,
+    /// A simulation phase did not terminate within its round budget.
+    PhaseIncomplete {
+        /// Human-readable phase name.
+        phase: &'static str,
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            OverlayError::DegreeTooLarge { degree, supported } => write!(
+                f,
+                "initial degree {degree} exceeds the supported degree {supported} for the NCC0 pipeline"
+            ),
+            OverlayError::EmptyGraph => write!(f, "the initial graph has no nodes"),
+            OverlayError::Disconnected => {
+                write!(f, "the initial graph is not weakly connected")
+            }
+            OverlayError::PhaseIncomplete { phase, budget } => {
+                write!(f, "phase {phase} did not finish within {budget} rounds")
+            }
+        }
+    }
+}
+
+impl Error for OverlayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = OverlayError::DegreeTooLarge {
+            degree: 100,
+            supported: 8,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains('8'));
+        assert!(OverlayError::EmptyGraph.to_string().contains("no nodes"));
+        assert!(OverlayError::Disconnected.to_string().contains("connected"));
+        assert!(OverlayError::InvalidParams("x".into()).to_string().contains('x'));
+        let p = OverlayError::PhaseIncomplete {
+            phase: "bfs",
+            budget: 7,
+        };
+        assert!(p.to_string().contains("bfs"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<OverlayError>();
+    }
+}

@@ -1,0 +1,425 @@
+//! The distributed `CreateExpander` protocol (Section 2.1 of the paper) in the NCC0
+//! model.
+//!
+//! Every node runs an [`ExpanderNode`] state machine. The run is organised as follows
+//! (all nodes share the schedule because they know the parameters):
+//!
+//! * **Round 0 (start):** every node introduces itself to its initial out-neighbors so
+//!   that the knowledge graph becomes bidirected.
+//! * **Round 1:** every node assembles its *benign* slot list locally (every distinct
+//!   undirected neighbor repeated Λ times, padded with self-loops to degree Δ) and
+//!   launches evolution 0.
+//! * **Evolution `e`** occupies `ℓ + 1` rounds: in the first round each node sends Δ/8
+//!   random-walk tokens along uniformly random incident slots; in the following `ℓ - 1`
+//!   rounds tokens are forwarded one random hop per round; in the final round each node
+//!   accepts up to 3Δ/8 of the tokens that finished at it and replies to their origins,
+//!   establishing bidirected edges. The next evolution's graph consists of exactly
+//!   those edges plus self-loops padding every node back to degree Δ.
+//! * After `L` evolutions one extra round incorporates the last acceptances; the node's
+//!   final slot list is the expander graph `G_L`.
+//!
+//! Token forwarding over a self-loop slot stays at the node and consumes no message,
+//! exactly as a lazy random-walk step.
+
+use crate::ExpanderParams;
+use overlay_graph::NodeId;
+use overlay_netsim::{Ctx, Envelope, Protocol};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Messages exchanged by [`ExpanderNode`]. Every variant carries at most one identifier
+/// plus a small counter, i.e. `O(log n)` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpanderMsg {
+    /// "I have an edge to you": sent once to every initial out-neighbor so the knowledge
+    /// graph becomes bidirected.
+    Intro,
+    /// A random-walk token: the identifier of its origin and the number of hops it still
+    /// has to take.
+    Token {
+        /// The node that started this token and will receive the new edge.
+        origin: NodeId,
+        /// Remaining hops after this delivery.
+        steps_left: u32,
+    },
+    /// "I accepted your token": establishes the bidirected edge between the token's
+    /// origin (the recipient of this message) and the accepting node (the sender).
+    Accept,
+}
+
+/// A buffered token: its origin and the hops it still has to take.
+type BufferedToken = (NodeId, u32);
+
+/// Per-node state of the distributed `CreateExpander` protocol.
+#[derive(Debug)]
+pub struct ExpanderNode {
+    id: NodeId,
+    params: ExpanderParams,
+    /// Distinct initial out-neighbors (knowledge-graph edges we store).
+    out_neighbors: Vec<NodeId>,
+    /// Distinct nodes that introduced themselves in round 0.
+    intro_neighbors: Vec<NodeId>,
+    /// Current benign slot list (neighbors with multiplicity; self-loops as own id).
+    slots: Vec<NodeId>,
+    /// Edge endpoints collected for the *next* evolution graph.
+    next_slots: Vec<NodeId>,
+    /// Tokens to forward in the next forwarding round.
+    forward_buffer: Vec<BufferedToken>,
+    /// Tokens that completed their walk here and await the accept round.
+    arrived: Vec<NodeId>,
+    /// Tokens "sent to ourselves" over self-loop slots, delivered next round locally.
+    self_delivery: Vec<BufferedToken>,
+    /// Set once the final graph has been assembled.
+    done: bool,
+}
+
+impl ExpanderNode {
+    /// Creates the state machine for node `id` with the given distinct initial
+    /// out-neighbors.
+    pub fn new(id: NodeId, out_neighbors: Vec<NodeId>, params: ExpanderParams) -> Self {
+        ExpanderNode {
+            id,
+            params,
+            out_neighbors,
+            intro_neighbors: Vec::new(),
+            slots: Vec::new(),
+            next_slots: Vec::new(),
+            forward_buffer: Vec::new(),
+            arrived: Vec::new(),
+            self_delivery: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current slot list (after termination: its adjacency in `G_L`).
+    pub fn slots(&self) -> &[NodeId] {
+        &self.slots
+    }
+
+    /// Number of message rounds the protocol needs after the start (intro) round:
+    /// `L` evolutions of `ℓ + 1` rounds each plus one final round that incorporates the
+    /// last acceptances.
+    pub fn total_rounds(params: &ExpanderParams) -> usize {
+        params.evolutions * (params.walk_len + 1) + 1
+    }
+
+    /// Builds the benign slot list from local knowledge (Section 2.1 preprocessing).
+    fn build_benign_slots(&mut self) {
+        let mut neighbors: Vec<NodeId> = self
+            .out_neighbors
+            .iter()
+            .chain(self.intro_neighbors.iter())
+            .copied()
+            .filter(|&v| v != self.id)
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        self.slots.clear();
+        for v in neighbors {
+            for _ in 0..self.params.lambda {
+                self.slots.push(v);
+            }
+        }
+        self.pad_with_self_loops();
+    }
+
+    fn pad_with_self_loops(&mut self) {
+        while self.slots.len() < self.params.delta {
+            self.slots.push(self.id);
+        }
+    }
+
+    /// Replaces the current slot list with the edges collected during the last
+    /// evolution, padded with self-loops.
+    fn adopt_next_graph(&mut self) {
+        self.slots = std::mem::take(&mut self.next_slots);
+        self.pad_with_self_loops();
+    }
+
+    /// Sends a token one hop along a uniformly random incident slot; self-loop hops stay
+    /// local and cost no message.
+    fn hop_token(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>, origin: NodeId, steps_left: u32) {
+        let target = self.slots[ctx.rng().gen_range(0..self.slots.len())];
+        if target == self.id {
+            // Lazy step: the token stays here for one round.
+            if steps_left == 0 {
+                // It will be considered "arrived" at the next round, mirroring the
+                // delivery delay of a real message.
+                self.self_delivery.push((origin, 0));
+            } else {
+                self.self_delivery.push((origin, steps_left));
+            }
+        } else {
+            ctx.send_global(target, ExpanderMsg::Token { origin, steps_left });
+        }
+    }
+
+    fn launch_own_tokens(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
+        let tokens = self.params.tokens_per_node();
+        let steps_left = self.params.walk_len as u32 - 1;
+        for _ in 0..tokens {
+            self.hop_token(ctx, self.id, steps_left);
+        }
+    }
+
+    fn forward_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
+        let buffered = std::mem::take(&mut self.forward_buffer);
+        for (origin, steps_left) in buffered {
+            debug_assert!(steps_left > 0, "tokens with no hops left never enter the buffer");
+            self.hop_token(ctx, origin, steps_left - 1);
+        }
+    }
+
+    fn accept_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
+        let mut arrived = std::mem::take(&mut self.arrived);
+        arrived.shuffle(ctx.rng());
+        arrived.truncate(self.params.max_accepts());
+        for origin in arrived {
+            self.next_slots.push(origin);
+            if origin != self.id {
+                ctx.send_global(origin, ExpanderMsg::Accept);
+            }
+            // A walk that returned home creates a self-loop, which needs no message.
+        }
+    }
+
+    fn ingest(&mut self, inbox: Vec<Envelope<ExpanderMsg>>) {
+        for env in inbox {
+            match env.payload {
+                ExpanderMsg::Intro => self.intro_neighbors.push(env.from),
+                ExpanderMsg::Token { origin, steps_left } => {
+                    if steps_left == 0 {
+                        self.arrived.push(origin);
+                    } else {
+                        self.forward_buffer.push((origin, steps_left));
+                    }
+                }
+                ExpanderMsg::Accept => self.next_slots.push(env.from),
+            }
+        }
+        // Tokens that travelled over a self-loop slot last round.
+        let held = std::mem::take(&mut self.self_delivery);
+        for (origin, steps_left) in held {
+            if steps_left == 0 {
+                self.arrived.push(origin);
+            } else {
+                self.forward_buffer.push((origin, steps_left));
+            }
+        }
+    }
+}
+
+impl Protocol for ExpanderNode {
+    type Message = ExpanderMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
+        let mut targets: Vec<NodeId> = self
+            .out_neighbors
+            .iter()
+            .copied()
+            .filter(|&v| v != self.id)
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for v in targets {
+            ctx.send_global(v, ExpanderMsg::Intro);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>, inbox: Vec<Envelope<ExpanderMsg>>) {
+        if self.done {
+            return;
+        }
+        self.ingest(inbox);
+
+        let walk_len = self.params.walk_len;
+        let phase_len = walk_len + 1;
+        let k = ctx.round() - 1;
+        let evolution = k / phase_len;
+        let step = k % phase_len;
+
+        if evolution >= self.params.evolutions {
+            // Final round: incorporate the last acceptances and stop.
+            self.adopt_next_graph();
+            self.done = true;
+            return;
+        }
+
+        if step == 0 {
+            if evolution == 0 {
+                self.build_benign_slots();
+            } else {
+                self.adopt_next_graph();
+            }
+            self.arrived.clear();
+            self.launch_own_tokens(ctx);
+        } else if step < walk_len {
+            self.forward_round(ctx);
+        } else {
+            self.accept_round(ctx);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_graph::{analysis, generators, DiGraph, UGraph};
+    use overlay_netsim::{CapacityModel, SimConfig, Simulator};
+
+    fn run_expander(g: &DiGraph, params: ExpanderParams) -> Vec<ExpanderNode> {
+        let nodes: Vec<ExpanderNode> = g
+            .nodes()
+            .map(|v| {
+                let mut out: Vec<NodeId> = g.out_neighbors(v).to_vec();
+                out.sort_unstable();
+                out.dedup();
+                ExpanderNode::new(v, out, params)
+            })
+            .collect();
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 {
+                per_round: params.ncc0_cap,
+            },
+            seed: params.seed,
+            local_edges: None,
+        };
+        let mut sim = Simulator::new(nodes, config);
+        let outcome = sim.run(ExpanderNode::total_rounds(&params) + 2);
+        assert!(outcome.all_done, "expander protocol must terminate");
+        assert_eq!(
+            sim.metrics().total_dropped_receive(),
+            0,
+            "no node should exceed its receive capacity"
+        );
+        sim.into_nodes()
+    }
+
+    fn slots_to_graph(nodes: &[ExpanderNode]) -> UGraph {
+        let mut g = UGraph::new(nodes.len());
+        for node in nodes {
+            let v = node.id();
+            for &w in node.slots() {
+                if w == v {
+                    g.add_self_loop(v);
+                } else if w > v {
+                    g.add_edge(v, w);
+                }
+            }
+        }
+        g
+    }
+
+    fn test_params(n: usize) -> ExpanderParams {
+        let mut p = ExpanderParams::for_n(n);
+        p.walk_len = 12;
+        p.seed = 99;
+        p
+    }
+
+    #[test]
+    fn expander_total_rounds_formula() {
+        let p = test_params(64);
+        assert_eq!(
+            ExpanderNode::total_rounds(&p),
+            p.evolutions * (p.walk_len + 1) + 1
+        );
+    }
+
+    #[test]
+    fn expander_on_line_produces_regular_low_diameter_graph() {
+        let n = 128;
+        let params = test_params(n);
+        let nodes = run_expander(&generators::line(n), params);
+        for node in &nodes {
+            assert_eq!(node.slots().len(), params.delta, "final graph must be regular");
+        }
+        let g = slots_to_graph(&nodes);
+        let simple = g.simplify();
+        assert!(analysis::is_connected(&simple), "expander must be connected");
+        let diam = analysis::diameter(&simple).expect("connected");
+        // O(log n) with a generous constant.
+        assert!(
+            diam <= 4 * 7,
+            "diameter {diam} too large for n={n} (expected O(log n))"
+        );
+    }
+
+    #[test]
+    fn expander_edges_are_symmetric() {
+        let n = 64;
+        let params = test_params(n);
+        let nodes = run_expander(&generators::cycle(n), params);
+        // Count directed slot multiplicities and check symmetry.
+        let mut counts = std::collections::HashMap::new();
+        for node in &nodes {
+            for &w in node.slots() {
+                if w != node.id() {
+                    *counts.entry((node.id(), w)).or_insert(0usize) += 1;
+                }
+            }
+        }
+        for (&(u, v), &c) in &counts {
+            assert_eq!(
+                counts.get(&(v, u)).copied().unwrap_or(0),
+                c,
+                "edge {u}->{v} must be mirrored"
+            );
+        }
+    }
+
+    #[test]
+    fn expander_respects_message_bounds() {
+        let n = 128;
+        let params = test_params(n);
+        let g = generators::binary_tree(n);
+        let nodes: Vec<ExpanderNode> = g
+            .nodes()
+            .map(|v| ExpanderNode::new(v, g.out_neighbors(v).to_vec(), params))
+            .collect();
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 {
+                per_round: params.ncc0_cap,
+            },
+            seed: 5,
+            local_edges: None,
+        };
+        let mut sim = Simulator::new(nodes, config);
+        sim.run(ExpanderNode::total_rounds(&params) + 2);
+        let m = sim.metrics();
+        assert!(m.max_sent_in_any_round() <= params.ncc0_cap);
+        assert!(m.max_received_in_any_round() <= params.ncc0_cap);
+        assert_eq!(m.total_dropped_receive(), 0);
+        assert_eq!(m.total_dropped_send(), 0);
+    }
+
+    #[test]
+    fn expander_is_deterministic_for_fixed_seed() {
+        let n = 48;
+        let params = test_params(n);
+        let a = run_expander(&generators::line(n), params);
+        let b = run_expander(&generators::line(n), params);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.slots(), y.slots());
+        }
+    }
+
+    #[test]
+    fn single_evolution_keeps_graph_connected() {
+        let n = 96;
+        let mut params = test_params(n);
+        params.evolutions = 1;
+        let nodes = run_expander(&generators::cycle(n), params);
+        let g = slots_to_graph(&nodes).simplify();
+        assert!(analysis::is_connected(&g));
+    }
+}

@@ -1,0 +1,335 @@
+//! Well-formed trees and the distributed finalization step.
+//!
+//! A *well-formed tree* is a rooted tree of constant degree and `O(log n)` diameter
+//! containing every node. The BFS tree produced on the expander already has `O(log n)`
+//! depth but its degree can be `Θ(log n)`; the paper cites the merging step of
+//! [Gmyr et al., ICALP'17] (child–sibling tree plus Euler-tour rebalancing) to reduce
+//! the degree to a constant.
+//!
+//! This module implements the degree reduction as a one-round distributed *binarization*
+//! ([`BinarizeNode`]): every node arranges its BFS children as a balanced binary tree
+//! among themselves and keeps an edge only to the first of them. The resulting tree has
+//! degree at most 4 and depth at most `depth(BFS) · (1 + ⌈log₂(Δ+1)⌉) = O(log n · log
+//! log n)`; the asymptotically tight `O(log n)` rebalancing via Euler tours is provided
+//! on top of the list-ranking machinery in the `overlay-hybrid` crate.
+
+use overlay_graph::{NodeId, UGraph};
+use overlay_netsim::{Ctx, Envelope, Protocol};
+
+/// A rooted tree over all nodes, produced by the construction pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WellFormedTree {
+    root: NodeId,
+    parent: Vec<NodeId>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl WellFormedTree {
+    /// Assembles a tree from per-node parent pointers (the root points to itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is not exactly one root.
+    pub fn from_parents(parent: Vec<NodeId>) -> Self {
+        let n = parent.len();
+        let roots: Vec<usize> = (0..n).filter(|&v| parent[v].index() == v).collect();
+        assert_eq!(roots.len(), 1, "a well-formed tree has exactly one root");
+        let root = NodeId::from(roots[0]);
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            let p = parent[v];
+            if p.index() != v {
+                children[p.index()].push(NodeId::from(v));
+            }
+        }
+        WellFormedTree {
+            root,
+            parent,
+            children,
+        }
+    }
+
+    /// The tree's root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The parent of `v` (the root's parent is itself).
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v.index()]
+    }
+
+    /// The children of `v`.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// The depth of every node (root = 0); `None` entries indicate nodes not connected
+    /// to the root, which [`WellFormedTree::is_valid`] rejects.
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        let n = self.parent.len();
+        let mut depth = vec![None; n];
+        depth[self.root.index()] = Some(0);
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            let d = depth[v.index()].expect("stacked nodes have depths");
+            for &c in &self.children[v.index()] {
+                if depth[c.index()].is_none() {
+                    depth[c.index()] = Some(d + 1);
+                    stack.push(c);
+                }
+            }
+        }
+        depth
+    }
+
+    /// The height of the tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.depths().into_iter().flatten().max().unwrap_or(0)
+    }
+
+    /// The maximum degree (children plus parent edge).
+    pub fn max_degree(&self) -> usize {
+        (0..self.parent.len())
+            .map(|v| {
+                let parent_edge = usize::from(self.parent[v].index() != v);
+                self.children[v].len() + parent_edge
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks that the structure is a tree covering all nodes: every node reaches the
+    /// root and the edge count is `n - 1`.
+    pub fn is_valid(&self) -> bool {
+        let n = self.parent.len();
+        if n == 0 {
+            return false;
+        }
+        let reachable = self.depths().iter().filter(|d| d.is_some()).count();
+        let edges: usize = self.children.iter().map(Vec::len).sum();
+        reachable == n && edges == n - 1
+    }
+
+    /// The tree as an undirected graph (useful for diameter measurements).
+    pub fn to_ugraph(&self) -> UGraph {
+        let mut g = UGraph::new(self.parent.len());
+        for (v, &p) in self.parent.iter().enumerate() {
+            if p.index() != v {
+                g.add_edge(NodeId::from(v), p);
+            }
+        }
+        g
+    }
+}
+
+/// Messages of the binarization protocol: the single re-linking instruction a node
+/// receives from its BFS parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelinkMsg {
+    /// The node's parent in the binarized tree.
+    pub parent: NodeId,
+    /// Its first sibling-child, if any.
+    pub left: Option<NodeId>,
+    /// Its second sibling-child, if any.
+    pub right: Option<NodeId>,
+}
+
+/// Per-node state of the one-round binarization step.
+#[derive(Debug)]
+pub struct BinarizeNode {
+    id: NodeId,
+    bfs_parent: NodeId,
+    bfs_children: Vec<NodeId>,
+    new_parent: NodeId,
+    new_children: Vec<NodeId>,
+    done: bool,
+}
+
+impl BinarizeNode {
+    /// Creates the state machine for node `id` given its BFS parent and children.
+    pub fn new(id: NodeId, bfs_parent: NodeId, mut bfs_children: Vec<NodeId>) -> Self {
+        bfs_children.sort_unstable();
+        BinarizeNode {
+            id,
+            bfs_parent,
+            bfs_children,
+            new_parent: id,
+            new_children: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's parent in the binarized tree (itself for the root).
+    pub fn new_parent(&self) -> NodeId {
+        self.new_parent
+    }
+
+    /// The node's children in the binarized tree.
+    pub fn new_children(&self) -> &[NodeId] {
+        &self.new_children
+    }
+
+    /// Number of message rounds the protocol needs after the start round.
+    pub fn total_rounds() -> usize {
+        1
+    }
+}
+
+impl Protocol for BinarizeNode {
+    type Message = RelinkMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RelinkMsg>) {
+        // The node keeps only its first child; the remaining children are arranged as a
+        // balanced binary heap among themselves: child j's new parent is child (j-1)/2.
+        let k = self.bfs_children.len();
+        for (j, &c) in self.bfs_children.iter().enumerate() {
+            let parent = if j == 0 {
+                self.id
+            } else {
+                self.bfs_children[(j - 1) / 2]
+            };
+            let left = self.bfs_children.get(2 * j + 1).copied();
+            let right = self.bfs_children.get(2 * j + 2).copied();
+            ctx.send_global(c, RelinkMsg { parent, left, right });
+        }
+        if k > 0 {
+            self.new_children.push(self.bfs_children[0]);
+        }
+        if self.bfs_parent == self.id {
+            self.new_parent = self.id;
+        }
+    }
+
+    fn on_round(&mut self, _ctx: &mut Ctx<'_, RelinkMsg>, inbox: Vec<Envelope<RelinkMsg>>) {
+        for env in inbox {
+            let msg = env.payload;
+            self.new_parent = msg.parent;
+            for extra in [msg.left, msg.right].into_iter().flatten() {
+                self.new_children.push(extra);
+            }
+        }
+        self.new_children.sort_unstable();
+        self.new_children.dedup();
+        self.done = true;
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_graph::analysis;
+    use overlay_netsim::{SimConfig, Simulator};
+
+    /// Builds a star BFS tree (root 0 with n-1 children) and binarizes it.
+    fn binarize_star(n: usize) -> WellFormedTree {
+        let nodes: Vec<BinarizeNode> = (0..n)
+            .map(|v| {
+                if v == 0 {
+                    BinarizeNode::new(
+                        NodeId::from(0usize),
+                        NodeId::from(0usize),
+                        (1..n).map(NodeId::from).collect(),
+                    )
+                } else {
+                    BinarizeNode::new(NodeId::from(v), NodeId::from(0usize), Vec::new())
+                }
+            })
+            .collect();
+        let mut sim = Simulator::new(nodes, SimConfig::default());
+        let outcome = sim.run(BinarizeNode::total_rounds() + 1);
+        assert!(outcome.all_done);
+        let parents: Vec<NodeId> = sim.nodes().iter().map(|b| b.new_parent()).collect();
+        WellFormedTree::from_parents(parents)
+    }
+
+    #[test]
+    fn from_parents_builds_children_lists() {
+        let parents: Vec<NodeId> = vec![0.into(), 0.into(), 0.into(), 1.into()];
+        let t = WellFormedTree::from_parents(parents);
+        assert_eq!(t.root(), NodeId::from(0usize));
+        assert_eq!(t.children(0.into()), &[NodeId::from(1usize), NodeId::from(2usize)]);
+        assert_eq!(t.children(1.into()), &[NodeId::from(3usize)]);
+        assert_eq!(t.height(), 2);
+        // Node 0 has two children and no parent edge; node 1 has one child plus its
+        // parent edge.
+        assert_eq!(t.max_degree(), 2);
+        assert!(t.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn from_parents_rejects_forests() {
+        let parents: Vec<NodeId> = vec![0.into(), 1.into(), 0.into()];
+        let _ = WellFormedTree::from_parents(parents);
+    }
+
+    #[test]
+    fn binarized_star_has_constant_degree_and_log_depth() {
+        let n = 129;
+        let t = binarize_star(n);
+        assert!(t.is_valid());
+        assert_eq!(t.node_count(), n);
+        assert!(
+            t.max_degree() <= 4,
+            "degree {} exceeds the constant bound",
+            t.max_degree()
+        );
+        // 1 (root to first child) + ceil(log2 of 128 children) = 8.
+        assert!(t.height() <= 8, "height {} too large", t.height());
+        // The tree is connected and has n-1 edges.
+        let g = t.to_ugraph();
+        assert!(analysis::is_connected(&g));
+        assert_eq!(g.edge_count(), n - 1);
+    }
+
+    #[test]
+    fn binarizing_a_path_keeps_it_intact() {
+        // A path BFS tree (each node has one child) must be unchanged.
+        let n = 16;
+        let nodes: Vec<BinarizeNode> = (0..n)
+            .map(|v| {
+                let parent = if v == 0 { 0 } else { v - 1 };
+                let children = if v + 1 < n {
+                    vec![NodeId::from(v + 1)]
+                } else {
+                    Vec::new()
+                };
+                BinarizeNode::new(NodeId::from(v), NodeId::from(parent), children)
+            })
+            .collect();
+        let mut sim = Simulator::new(nodes, SimConfig::default());
+        sim.run(4);
+        let parents: Vec<NodeId> = sim.nodes().iter().map(|b| b.new_parent()).collect();
+        let t = WellFormedTree::from_parents(parents);
+        assert!(t.is_valid());
+        assert_eq!(t.height(), n - 1);
+        assert_eq!(t.max_degree(), 2);
+    }
+
+    #[test]
+    fn depths_mark_unreachable_nodes() {
+        // Manually corrupt a tree: node 2's parent is 1 but 1's child list is empty.
+        let t = WellFormedTree {
+            root: NodeId::from(0usize),
+            parent: vec![0.into(), 0.into(), 1.into()],
+            children: vec![vec![1.into()], vec![], vec![]],
+        };
+        assert!(!t.is_valid());
+        assert_eq!(t.depths()[2], None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// An opaque node identifier.
+///
+/// The paper models identifiers as bit strings of length `O(log n)`; a `u64` comfortably
+/// holds such identifiers for any graph we can simulate. In this workspace nodes of a
+/// graph with `n` nodes are identified by `0..n`, which also serves as their index into
+/// the simulator's node table, but nothing in the public API relies on identifiers being
+/// dense.
+///
+/// # Example
+///
+/// ```
+/// use overlay_graph::NodeId;
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "n7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates an identifier from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw value of the identifier.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw value does not fit into `usize` (cannot happen on 64-bit
+    /// targets).
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("node id does not fit into usize")
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value as u64)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.index()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_usize() {
+        for i in [0usize, 1, 17, 4096] {
+            let id = NodeId::from(i);
+            assert_eq!(id.index(), i);
+            assert_eq!(usize::from(id), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId::new(3) < NodeId::new(4));
+        assert_eq!(NodeId::new(9), NodeId::new(9));
+    }
+
+    #[test]
+    fn hashable_and_distinct() {
+        let set: HashSet<NodeId> = (0..100).map(NodeId::from).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId::new(5)), "n5");
+        assert_eq!(format!("{:?}", NodeId::new(5)), "n5");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+}

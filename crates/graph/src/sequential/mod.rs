@@ -1,0 +1,16 @@
+//! Centralized reference algorithms.
+//!
+//! Every distributed algorithm in the workspace is validated against one of these
+//! sequential implementations: union-find connected components, Tarjan's biconnectivity
+//! (articulation points, bridges, biconnected components), spanning trees, and maximal
+//! independent sets.
+
+mod union_find;
+mod biconnectivity;
+mod spanning_tree;
+mod mis;
+
+pub use biconnectivity::{biconnected_components, BiconnectivityInfo};
+pub use mis::{greedy_mis, is_maximal_independent_set};
+pub use spanning_tree::{bfs_tree, kruskal_spanning_forest};
+pub use union_find::UnionFind;

@@ -1,0 +1,82 @@
+//! Sequential spanning trees / forests.
+
+use super::UnionFind;
+use crate::{NodeId, UGraph};
+use std::collections::VecDeque;
+
+/// Computes a spanning forest by Kruskal-style edge scanning (no weights: the first
+/// edge that connects two components wins). Returns the forest edges.
+pub fn kruskal_spanning_forest(g: &UGraph) -> Vec<(NodeId, NodeId)> {
+    let mut uf = UnionFind::new(g.node_count());
+    let mut forest = Vec::new();
+    for (u, v) in g.edges() {
+        if u != v && uf.union(u.index(), v.index()) {
+            forest.push((u, v));
+        }
+    }
+    forest
+}
+
+/// Computes a BFS tree rooted at `root`, returned as a parent vector (the root points to
+/// itself; unreachable nodes also point to themselves and are reported separately).
+///
+/// Returns `(parent, unreachable)`.
+pub fn bfs_tree(g: &UGraph, root: NodeId) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = g.node_count();
+    let mut parent: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+    let mut visited = vec![false; n];
+    if root.index() < n {
+        visited[root.index()] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    parent[v.index()] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    let unreachable = (0..n)
+        .filter(|&v| !visited[v])
+        .map(NodeId::from)
+        .collect();
+    (parent, unreachable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analysis, generators};
+
+    #[test]
+    fn kruskal_on_connected_graph_has_n_minus_1_edges() {
+        let g = generators::grid(4, 4).to_undirected();
+        let forest = kruskal_spanning_forest(&g);
+        assert_eq!(forest.len(), 15);
+    }
+
+    #[test]
+    fn kruskal_on_forest_counts_components() {
+        let g = generators::disjoint_union(&[generators::line(5), generators::cycle(4)])
+            .to_undirected();
+        let forest = kruskal_spanning_forest(&g);
+        assert_eq!(forest.len(), 9 - 2);
+    }
+
+    #[test]
+    fn bfs_tree_is_spanning_tree() {
+        let g = generators::connected_random(50, 0.05, 9).to_undirected();
+        let (parent, unreachable) = bfs_tree(&g, 0.into());
+        assert!(unreachable.is_empty());
+        assert!(analysis::is_spanning_tree(&g, &parent));
+    }
+
+    #[test]
+    fn bfs_tree_reports_unreachable() {
+        let g = UGraph::new(3);
+        let (_, unreachable) = bfs_tree(&g, 0.into());
+        assert_eq!(unreachable.len(), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Undirected multigraphs with explicit self-loops.
+//!
+//! The *benign* communication graphs maintained by `CreateExpander` are Δ-regular
+//! multigraphs in which self-loops are first-class edges (a lazy random-walk step may
+//! stay put by traversing a loop). [`UGraph`] therefore stores, for every node, a list
+//! of incident *edge slots*: a non-loop edge `{u, v}` contributes one slot `v` at `u`
+//! and one slot `u` at `v`; a self-loop at `v` contributes a single slot `v` at `v`.
+//! A uniformly random incident edge is then simply a uniformly random slot.
+
+use crate::NodeId;
+use std::collections::BTreeSet;
+
+/// An undirected multigraph over nodes `0..n` with explicit self-loops.
+///
+/// # Example
+///
+/// ```
+/// use overlay_graph::UGraph;
+///
+/// let mut g = UGraph::new(3);
+/// g.add_edge(0.into(), 1.into());
+/// g.add_self_loop(2.into());
+/// assert_eq!(g.degree(0.into()), 1);
+/// assert_eq!(g.degree(2.into()), 1);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UGraph {
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl UGraph {
+    /// Creates an undirected multigraph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        UGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges, counting multiplicities; a self-loop counts as one
+    /// edge.
+    pub fn edge_count(&self) -> usize {
+        let slots: usize = self.adj.iter().map(Vec::len).sum();
+        let loops: usize = self
+            .adj
+            .iter()
+            .enumerate()
+            .map(|(v, a)| a.iter().filter(|&&w| w.index() == v).count())
+            .sum();
+        (slots - loops) / 2 + loops
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from)
+    }
+
+    /// Adds an undirected edge `{u, v}`.
+    ///
+    /// If `u == v` this adds a self-loop (a single slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u.index() < self.adj.len(), "node out of range");
+        assert!(v.index() < self.adj.len(), "node out of range");
+        if u == v {
+            self.adj[u.index()].push(v);
+        } else {
+            self.adj[u.index()].push(v);
+            self.adj[v.index()].push(u);
+        }
+    }
+
+    /// Adds a self-loop at `v`.
+    pub fn add_self_loop(&mut self, v: NodeId) {
+        self.add_edge(v, v);
+    }
+
+    /// Degree of `v`: its number of incident edge slots (self-loops count once).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The incident edge slots of `v` (neighbors with multiplicity, self-loops as `v`).
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// Number of self-loop slots at `v`.
+    pub fn self_loops(&self, v: NodeId) -> usize {
+        self.adj[v.index()]
+            .iter()
+            .filter(|&&w| w == v)
+            .count()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Returns `true` if every node has exactly degree `delta`.
+    pub fn is_regular(&self, delta: usize) -> bool {
+        self.adj.iter().all(|a| a.len() == delta)
+    }
+
+    /// Returns all undirected edges `(u, v)` with `u <= v`, with multiplicity.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        for (u, a) in self.adj.iter().enumerate() {
+            for &v in a {
+                if v.index() >= u {
+                    edges.push((NodeId::from(u), v));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Returns the distinct (deduplicated) non-loop neighbor set of `v`.
+    pub fn distinct_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let set: BTreeSet<NodeId> = self.adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|&w| w != v)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Builds an undirected graph from a list of edges.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut g = UGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Returns the simple-graph version: parallel edges merged, self-loops removed.
+    pub fn simplify(&self) -> UGraph {
+        let mut seen = BTreeSet::new();
+        for (u, a) in self.adj.iter().enumerate() {
+            for &v in a {
+                if v.index() != u {
+                    let key = if u < v.index() {
+                        (u, v.index())
+                    } else {
+                        (v.index(), u)
+                    };
+                    seen.insert(key);
+                }
+            }
+        }
+        let mut g = UGraph::new(self.adj.len());
+        for (a, b) in seen {
+            g.add_edge(NodeId::from(a), NodeId::from(b));
+        }
+        g
+    }
+
+    /// Number of edge slots at nodes of `set` whose other endpoint lies outside `set`
+    /// (the numerator of the conductance of `set`).
+    pub fn boundary_size(&self, set: &BTreeSet<NodeId>) -> usize {
+        set.iter()
+            .map(|&v| {
+                self.adj[v.index()]
+                    .iter()
+                    .filter(|w| !set.contains(w))
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = UGraph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn edge_count_with_loops() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 1.into());
+        g.add_self_loop(2.into());
+        g.add_self_loop(2.into());
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0.into()), 2);
+        assert_eq!(g.degree(2.into()), 2);
+        assert_eq!(g.self_loops(2.into()), 2);
+        assert_eq!(g.self_loops(0.into()), 0);
+    }
+
+    #[test]
+    fn regularity_check() {
+        let mut g = UGraph::new(2);
+        g.add_edge(0.into(), 1.into());
+        g.add_self_loop(0.into());
+        g.add_self_loop(1.into());
+        assert!(g.is_regular(2));
+        assert!(!g.is_regular(3));
+    }
+
+    #[test]
+    fn distinct_neighbors_excludes_loops_and_dups() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 2.into());
+        g.add_self_loop(0.into());
+        assert_eq!(
+            g.distinct_neighbors(0.into()),
+            vec![NodeId::from(1usize), NodeId::from(2usize)]
+        );
+    }
+
+    #[test]
+    fn boundary_of_singleton() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 2.into());
+        g.add_self_loop(1.into());
+        let set: BTreeSet<NodeId> = [NodeId::from(1usize)].into_iter().collect();
+        // node 1 has slots [0, 2, 1]; boundary counts 0 and 2 but not the loop
+        assert_eq!(g.boundary_size(&set), 2);
+    }
+
+    #[test]
+    fn simplify_removes_multiplicity() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 1.into());
+        g.add_self_loop(2.into());
+        let s = g.simplify();
+        assert_eq!(s.edge_count(), 1);
+        assert_eq!(s.degree(2.into()), 0);
+    }
+
+    #[test]
+    fn edges_listing_has_multiplicity() {
+        let mut g = UGraph::new(2);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(0.into(), 1.into());
+        g.add_self_loop(0.into());
+        assert_eq!(g.edges().len(), 3);
+    }
+}

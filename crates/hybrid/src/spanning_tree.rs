@@ -1,0 +1,347 @@
+//! Spanning trees of the initial graph by unwinding random walks (Theorem 1.3).
+//!
+//! The overlay edges created by `CreateExpander` do not exist in the initial graph, but
+//! every one of them was established along a random walk whose steps *are* initial
+//! edges (of the degree-reduced graph `H`, whose edges in turn map back to initial
+//! edges via the spanner and the delegation centers). The algorithm therefore:
+//!
+//! 1. degree-reduces the graph ([`crate::sparsify`]),
+//! 2. runs the evolutions while annotating every established edge with the walk that
+//!    created it ([`TracedEvolution`]),
+//! 3. takes a BFS tree of the final low-diameter graph `G_{L'}`,
+//! 4. replaces its edges level by level by the walks that created them until only edges
+//!    of `H` remain, maps those back to edges of the initial graph, and
+//! 5. extracts a spanning tree from the resulting connected spanning subgraph
+//!    (the paper's loop-erasure step).
+//!
+//! Steps 2–3 run the same random experiment as the distributed protocol; steps 4–5 are
+//! executed by the harness with the paper's round accounting (one round per unwinding
+//! level plus `O(log n)` for the loop erasure; see DESIGN.md).
+
+use crate::sparsify::{sparsify, SparsifyResult};
+use overlay_core::{benign, ExpanderParams, OverlayError};
+use overlay_graph::{analysis, sequential, DiGraph, NodeId, UGraph};
+use overlay_netsim::caps::log2_ceil;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+type EdgeKey = (NodeId, NodeId);
+
+fn norm(a: NodeId, b: NodeId) -> EdgeKey {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// One level of traced evolutions: for every established (non-loop) edge, the walk —
+/// a list of lower-level edges — that created it.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLevel {
+    paths: HashMap<EdgeKey, Vec<EdgeKey>>,
+}
+
+/// The traced evolution engine: identical random experiment to
+/// [`overlay_core::EvolutionEngine`], additionally remembering the walk behind every
+/// established edge.
+#[derive(Debug)]
+pub struct TracedEvolution {
+    params: ExpanderParams,
+    graph: UGraph,
+    rng: StdRng,
+    levels: Vec<TraceLevel>,
+}
+
+impl TracedEvolution {
+    /// Creates the engine from a benign graph.
+    pub fn from_benign(graph: UGraph, params: ExpanderParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed ^ 0x7AACE);
+        TracedEvolution {
+            params,
+            graph,
+            rng,
+            levels: Vec::new(),
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &UGraph {
+        &self.graph
+    }
+
+    /// The recorded trace levels (one per evolution).
+    pub fn levels(&self) -> &[TraceLevel] {
+        &self.levels
+    }
+
+    /// Runs one traced evolution.
+    pub fn evolve(&mut self) {
+        let n = self.graph.node_count();
+        let delta = self.params.delta;
+        let tokens = self.params.tokens_per_node();
+        let walk_len = self.params.walk_len;
+
+        let mut arrived: Vec<Vec<(NodeId, Vec<EdgeKey>)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for _ in 0..tokens {
+                let mut pos = NodeId::from(v);
+                let mut path = Vec::new();
+                for _ in 0..walk_len {
+                    let slots = self.graph.neighbors(pos);
+                    let next = slots[self.rng.gen_range(0..slots.len())];
+                    if next != pos {
+                        path.push(norm(pos, next));
+                    }
+                    pos = next;
+                }
+                arrived[pos.index()].push((NodeId::from(v), path));
+            }
+        }
+
+        let mut next = UGraph::new(n);
+        let mut level = TraceLevel::default();
+        for w in 0..n {
+            arrived[w].shuffle(&mut self.rng);
+            arrived[w].truncate(self.params.max_accepts());
+            for (origin, path) in arrived[w].drain(..) {
+                next.add_edge(NodeId::from(w), origin);
+                if origin.index() != w {
+                    level
+                        .paths
+                        .entry(norm(origin, NodeId::from(w)))
+                        .or_insert(path);
+                }
+            }
+        }
+        for v in next.nodes().collect::<Vec<_>>() {
+            while next.degree(v) < delta {
+                next.add_self_loop(v);
+            }
+        }
+        self.graph = next;
+        self.levels.push(level);
+    }
+}
+
+/// The output of the spanning-tree algorithm.
+#[derive(Clone, Debug)]
+pub struct SpanningTreeResult {
+    /// Parent pointer of every node (the root points to itself); the parent edges are
+    /// edges of the initial graph.
+    pub parent: Vec<NodeId>,
+    /// Rounds charged across all phases.
+    pub rounds: usize,
+    /// The degree-reduction result (exposed for downstream algorithms).
+    pub sparsified: SparsifyResult,
+}
+
+/// Computes a spanning tree of a weakly connected graph in the hybrid model
+/// (Theorem 1.3).
+#[derive(Clone, Copy, Debug)]
+pub struct HybridSpanningTree {
+    /// Seed for all randomness.
+    pub seed: u64,
+    /// Random-walk length of the evolutions.
+    pub walk_len: usize,
+}
+
+impl Default for HybridSpanningTree {
+    fn default() -> Self {
+        HybridSpanningTree {
+            seed: 0x5AAA_0001,
+            walk_len: 12,
+        }
+    }
+}
+
+impl HybridSpanningTree {
+    /// Runs the algorithm on (the undirected version of) `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Disconnected`] if `g` is not weakly connected and
+    /// [`OverlayError::EmptyGraph`] for empty inputs.
+    pub fn run(&self, g: &DiGraph) -> Result<SpanningTreeResult, OverlayError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(OverlayError::EmptyGraph);
+        }
+        let und = g.to_undirected();
+        if !analysis::is_connected(&und) {
+            return Err(OverlayError::Disconnected);
+        }
+        if n == 1 {
+            return Ok(SpanningTreeResult {
+                parent: vec![NodeId::from(0usize)],
+                rounds: 0,
+                sparsified: sparsify(g, self.seed, 4),
+            });
+        }
+
+        // Step 1: degree reduction.
+        let sparsified = sparsify(g, self.seed, 4);
+        let h = &sparsified.reduced;
+
+        // Step 2: traced evolutions on the benign version of H.
+        let h_digraph = DiGraph::from_edges(
+            n,
+            h.edges().into_iter().filter(|(a, b)| a != b),
+        );
+        let params = tree_params(h, self.seed, self.walk_len);
+        let benign_graph = benign::make_benign(&h_digraph, &params)?;
+        let mut engine = TracedEvolution::from_benign(benign_graph, params);
+        for _ in 0..params.evolutions {
+            engine.evolve();
+        }
+
+        // Step 3: BFS tree of the final low-diameter graph.
+        let final_simple = engine.graph().simplify();
+        if !analysis::is_connected(&final_simple) {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: "traced-evolutions",
+                budget: params.evolutions,
+            });
+        }
+        let (overlay_parent, _) = sequential::bfs_tree(&final_simple, NodeId::from(0usize));
+
+        // Step 4: unwind the tree edges level by level down to H-edges, then map those
+        // back to initial edges.
+        let mut current: Vec<EdgeKey> = overlay_parent
+            .iter()
+            .enumerate()
+            .filter(|(v, p)| p.index() != *v)
+            .map(|(v, p)| norm(NodeId::from(v), *p))
+            .collect();
+        for level in engine.levels().iter().rev() {
+            let mut lower = Vec::new();
+            for edge in current {
+                match level.paths.get(&edge) {
+                    Some(path) => lower.extend(path.iter().copied()),
+                    // Padding self-loops never enter `current`; an edge missing from the
+                    // level map can only be a benign-graph edge surviving in the overlay
+                    // (impossible, evolutions replace all edges), so treat it as already
+                    // unwound.
+                    None => lower.push(edge),
+                }
+            }
+            lower.sort_unstable();
+            lower.dedup();
+            current = lower;
+        }
+
+        // The remaining edges are edges of the benign graph, i.e. (copies of) H-edges;
+        // map delegated H-edges back to pairs of initial edges.
+        let mut subgraph = UGraph::new(n);
+        for (a, b) in current {
+            if und.neighbors(a).contains(&b) {
+                subgraph.add_edge(a, b);
+            } else if let Some(c) = sparsified.center_of(a, b) {
+                subgraph.add_edge(a, c);
+                subgraph.add_edge(b, c);
+            }
+        }
+
+        // Step 5: loop erasure — extract a spanning tree of the unwound subgraph.
+        if !analysis::is_connected(&subgraph) {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: "walk-unwinding",
+                budget: params.evolutions,
+            });
+        }
+        let (parent, unreachable) = sequential::bfs_tree(&subgraph, NodeId::from(0usize));
+        debug_assert!(unreachable.is_empty());
+
+        let log_n = log2_ceil(n).max(1);
+        let construction_rounds = params.evolutions * (params.walk_len + 1) + 1;
+        let rounds = sparsified.rounds
+            + construction_rounds
+            + params.bfs_rounds
+            + params.evolutions // one round per unwinding level
+            + 2 * log_n; // loop erasure via pointer jumping / prefix sums
+        Ok(SpanningTreeResult {
+            parent,
+            rounds,
+            sparsified,
+        })
+    }
+}
+
+fn tree_params(h: &UGraph, seed: u64, walk_len: usize) -> ExpanderParams {
+    let n = h.node_count();
+    let log_n = log2_ceil(n).max(2);
+    let degree = h.max_degree().max(1);
+    let lambda = 2 * log_n;
+    let delta = ((2 * degree * lambda).max(16 * log_n) + 7) / 8 * 8;
+    let mut params = ExpanderParams::for_n(n);
+    params.delta = delta;
+    params.lambda = lambda;
+    params.walk_len = walk_len;
+    params.evolutions = log_n + 4;
+    params.ncc0_cap = 2 * delta;
+    params.seed = seed;
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_graph::generators;
+
+    fn check(g: &DiGraph, seed: u64) -> SpanningTreeResult {
+        let algo = HybridSpanningTree {
+            seed,
+            walk_len: 12,
+        };
+        let result = algo.run(g).expect("spanning tree must succeed");
+        assert!(
+            analysis::is_spanning_tree(&g.to_undirected(), &result.parent),
+            "output must be a spanning tree of the input graph"
+        );
+        result
+    }
+
+    #[test]
+    fn spanning_tree_of_line_and_cycle() {
+        check(&generators::line(64), 1);
+        check(&generators::cycle(64), 2);
+    }
+
+    #[test]
+    fn spanning_tree_of_high_degree_graphs() {
+        check(&generators::star(128), 3);
+        check(&generators::connected_random(96, 0.15, 4), 4);
+    }
+
+    #[test]
+    fn spanning_tree_of_grid_and_caveman() {
+        check(&generators::grid(8, 8), 5);
+        check(&generators::caveman(6, 8), 6);
+    }
+
+    #[test]
+    fn rounds_are_polylogarithmic() {
+        let result = check(&generators::connected_random(128, 0.1, 7), 7);
+        // Generous polylog bound for n = 128 (log n = 7).
+        assert!(
+            result.rounds <= 60 * 7,
+            "rounds {} look super-polylogarithmic",
+            result.rounds
+        );
+    }
+
+    #[test]
+    fn singleton_and_errors() {
+        let result = HybridSpanningTree::default().run(&DiGraph::new(1)).unwrap();
+        assert_eq!(result.parent, vec![NodeId::from(0usize)]);
+        assert!(HybridSpanningTree::default().run(&DiGraph::new(0)).is_err());
+        let disconnected =
+            generators::disjoint_union(&[generators::line(4), generators::line(4)]);
+        assert_eq!(
+            HybridSpanningTree::default().run(&disconnected).unwrap_err(),
+            OverlayError::Disconnected
+        );
+    }
+}

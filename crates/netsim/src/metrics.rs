@@ -1,0 +1,144 @@
+//! Per-round and per-run communication metrics.
+//!
+//! The experiments of this reproduction are about *model-level* costs: how many rounds
+//! an algorithm takes and how many messages each node sends and receives per round.
+//! The simulator records those quantities here.
+
+/// Communication counters for a single round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Maximum number of messages any single node sent this round (local + global).
+    pub max_sent: usize,
+    /// Maximum number of messages any single node received this round (after drops).
+    pub max_received: usize,
+    /// Maximum number of *global* messages any single node sent this round.
+    pub max_global_sent: usize,
+    /// Maximum number of *global* messages any single node received this round.
+    pub max_global_received: usize,
+    /// Total messages delivered this round.
+    pub delivered: usize,
+    /// Messages dropped because a receiver exceeded its receive cap.
+    pub dropped_receive: usize,
+    /// Messages dropped because a sender exceeded its send cap (or the per-edge CONGEST
+    /// cap for local messages).
+    pub dropped_send: usize,
+}
+
+/// Aggregated communication counters for a whole run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Number of rounds executed (including the start round).
+    pub rounds: usize,
+    /// Per-round metrics, in order.
+    pub per_round: Vec<RoundMetrics>,
+    /// Total messages sent per node over the whole run.
+    pub total_sent_per_node: Vec<u64>,
+    /// Total *global* messages sent per node over the whole run.
+    pub total_global_sent_per_node: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// Creates empty metrics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RunMetrics {
+            rounds: 0,
+            per_round: Vec::new(),
+            total_sent_per_node: vec![0; n],
+            total_global_sent_per_node: vec![0; n],
+        }
+    }
+
+    /// The largest per-node, per-round send count observed in any round.
+    pub fn max_sent_in_any_round(&self) -> usize {
+        self.per_round.iter().map(|r| r.max_sent).max().unwrap_or(0)
+    }
+
+    /// The largest per-node, per-round receive count observed in any round.
+    pub fn max_received_in_any_round(&self) -> usize {
+        self.per_round
+            .iter()
+            .map(|r| r.max_received)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest per-node, per-round *global* message count (max of send and receive)
+    /// observed in any round. This is the "global capacity" the hybrid theorems bound.
+    pub fn max_global_in_any_round(&self) -> usize {
+        self.per_round
+            .iter()
+            .map(|r| r.max_global_sent.max(r.max_global_received))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total messages delivered over the whole run.
+    pub fn total_delivered(&self) -> u64 {
+        self.per_round.iter().map(|r| r.delivered as u64).sum()
+    }
+
+    /// Total messages dropped at receivers over the whole run (should be zero for
+    /// protocols that respect the w.h.p. bounds of the paper).
+    pub fn total_dropped_receive(&self) -> u64 {
+        self.per_round
+            .iter()
+            .map(|r| r.dropped_receive as u64)
+            .sum()
+    }
+
+    /// Total messages dropped at senders over the whole run.
+    pub fn total_dropped_send(&self) -> u64 {
+        self.per_round.iter().map(|r| r.dropped_send as u64).sum()
+    }
+
+    /// The maximum total number of messages any single node sent over the whole run
+    /// (the paper bounds this by `O(log² n)` for the main algorithm).
+    pub fn max_total_sent_per_node(&self) -> u64 {
+        self.total_sent_per_node.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics() {
+        let m = RunMetrics::new(3);
+        assert_eq!(m.rounds, 0);
+        assert_eq!(m.max_sent_in_any_round(), 0);
+        assert_eq!(m.total_delivered(), 0);
+        assert_eq!(m.max_total_sent_per_node(), 0);
+    }
+
+    #[test]
+    fn aggregation_over_rounds() {
+        let mut m = RunMetrics::new(2);
+        m.per_round.push(RoundMetrics {
+            max_sent: 3,
+            max_received: 2,
+            max_global_sent: 3,
+            max_global_received: 1,
+            delivered: 5,
+            dropped_receive: 1,
+            dropped_send: 0,
+        });
+        m.per_round.push(RoundMetrics {
+            max_sent: 1,
+            max_received: 4,
+            max_global_sent: 0,
+            max_global_received: 4,
+            delivered: 4,
+            dropped_receive: 0,
+            dropped_send: 2,
+        });
+        m.total_sent_per_node = vec![7, 2];
+        assert_eq!(m.max_sent_in_any_round(), 3);
+        assert_eq!(m.max_received_in_any_round(), 4);
+        assert_eq!(m.max_global_in_any_round(), 4);
+        assert_eq!(m.total_delivered(), 9);
+        assert_eq!(m.total_dropped_receive(), 1);
+        assert_eq!(m.total_dropped_send(), 2);
+        assert_eq!(m.max_total_sent_per_node(), 7);
+    }
+}

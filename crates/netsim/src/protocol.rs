@@ -1,0 +1,158 @@
+//! The protocol trait and the per-round node context.
+
+use overlay_graph::NodeId;
+use rand::rngs::StdRng;
+
+/// Which kind of edge a message travels over.
+///
+/// The NCC0 model only uses [`Channel::Global`]; the hybrid model distinguishes local
+/// (CONGEST, initial-graph) edges from global (overlay) messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// A local edge of the initial graph (CONGEST discipline in the hybrid model).
+    Local,
+    /// A global / overlay message addressed by identifier.
+    Global,
+}
+
+/// A delivered message together with its sender and channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The channel the message travelled over.
+    pub channel: Channel,
+    /// The message itself.
+    pub payload: M,
+}
+
+/// The interface of a distributed protocol: one state machine per node, advanced one
+/// synchronous round at a time.
+///
+/// Implementations must only communicate through the [`Ctx`] passed to the callbacks;
+/// they must not share state between nodes (the simulator owns each node's state
+/// exclusively, so the compiler enforces this).
+pub trait Protocol {
+    /// The message type exchanged by this protocol. Each message must fit in
+    /// `O(log n)` bits, i.e. carry at most a constant number of identifiers.
+    type Message: Clone + std::fmt::Debug;
+
+    /// Called once before the first round; typically used to send initial messages.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// Called once per round with all messages delivered at the beginning of the round.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: Vec<Envelope<Self::Message>>);
+
+    /// Returns `true` once this node has terminated. The simulation stops when every
+    /// node is done (or the round limit is reached).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// The per-round context handed to a node: who it is, which round it is, how many nodes
+/// exist, its private RNG, and its outbox.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) round: usize,
+    pub(crate) n: usize,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) outbox: &'a mut Vec<(NodeId, Channel, M)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The identifier of the executing node.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current round number (the start callback runs in round 0).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The total number of nodes `n`. The paper only requires nodes to know an upper
+    /// bound `L ≥ log n` with `L = O(log n)`; protocols in this workspace only ever use
+    /// [`Ctx::log_n`], but `n` is exposed for harness-side assertions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The upper bound `L = ⌈log₂ n⌉ ≥ log n` that all nodes know.
+    pub fn log_n(&self) -> usize {
+        crate::caps::log2_ceil(self.n).max(1)
+    }
+
+    /// The node's private, deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues a message to `to` over a global (overlay) edge. The recipient must be a
+    /// node whose identifier this node knows; the simulator does not check this (it
+    /// cannot), but protocols in this workspace only ever address identifiers they
+    /// received in messages or knew initially, as the model requires.
+    pub fn send_global(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, Channel::Global, msg));
+    }
+
+    /// Queues a message to `to` over a local edge of the initial graph (hybrid model
+    /// only; in the NCC0 model use [`Ctx::send_global`]).
+    pub fn send_local(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, Channel::Local, msg));
+    }
+
+    /// Queues a message over an explicitly chosen channel.
+    pub fn send(&mut self, to: NodeId, channel: Channel, msg: M) {
+        self.outbox.push((to, channel, msg));
+    }
+
+    /// Number of messages queued so far this round.
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_accessors_and_send() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut outbox = Vec::new();
+        let mut ctx: Ctx<'_, u32> = Ctx {
+            me: NodeId::from(3usize),
+            round: 5,
+            n: 1000,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.me(), NodeId::from(3usize));
+        assert_eq!(ctx.round(), 5);
+        assert_eq!(ctx.n(), 1000);
+        assert_eq!(ctx.log_n(), 10);
+        ctx.send_global(NodeId::from(1usize), 42);
+        ctx.send_local(NodeId::from(2usize), 43);
+        ctx.send(NodeId::from(4usize), Channel::Global, 44);
+        assert_eq!(ctx.queued(), 3);
+        assert_eq!(outbox[0], (NodeId::from(1usize), Channel::Global, 42));
+        assert_eq!(outbox[1], (NodeId::from(2usize), Channel::Local, 43));
+    }
+
+    #[test]
+    fn log_n_is_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut outbox: Vec<(NodeId, Channel, u8)> = Vec::new();
+        let ctx: Ctx<'_, u8> = Ctx {
+            me: NodeId::from(0usize),
+            round: 0,
+            n: 1,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.log_n(), 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! The synchronous round simulator.
+
+use crate::caps::CapacityModel;
+use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::protocol::{Channel, Ctx, Envelope, Protocol};
+use overlay_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The capacity model to enforce.
+    pub caps: CapacityModel,
+    /// Seed for all randomness (per-node RNGs and drop selection).
+    pub seed: u64,
+    /// The local edges of the initial graph (distinct neighbors per node), required by
+    /// the hybrid model's CONGEST discipline: local messages may only travel over these
+    /// edges. Ignored by the NCC0 and unbounded models.
+    pub local_edges: Option<Vec<Vec<NodeId>>>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            caps: CapacityModel::Unbounded,
+            seed: 0xBADC0FFE,
+            local_edges: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A convenience constructor for the NCC0 model on `n` nodes.
+    pub fn ncc0(n: usize, cap_factor: usize, seed: u64) -> Self {
+        SimConfig {
+            caps: CapacityModel::ncc0_for(n, cap_factor),
+            seed,
+            local_edges: None,
+        }
+    }
+
+    /// A convenience constructor for the hybrid model with the given local adjacency.
+    pub fn hybrid(local_edges: Vec<Vec<NodeId>>, cap_factor: usize, seed: u64) -> Self {
+        let n = local_edges.len();
+        SimConfig {
+            caps: CapacityModel::hybrid_for(n, cap_factor),
+            seed,
+            local_edges: Some(local_edges),
+        }
+    }
+}
+
+/// The result of [`Simulator::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of message rounds executed (not counting the start callback).
+    pub rounds: usize,
+    /// Whether every node reported [`Protocol::is_done`] before the round limit.
+    pub all_done: bool,
+}
+
+/// A deterministic synchronous simulator executing one [`Protocol`] state machine per
+/// node.
+#[derive(Debug)]
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<P>,
+    rngs: Vec<StdRng>,
+    pending: Vec<Vec<Envelope<P::Message>>>,
+    caps: CapacityModel,
+    local_neighbors: Option<Vec<HashSet<NodeId>>>,
+    drop_rng: StdRng,
+    metrics: RunMetrics,
+    round: usize,
+    started: bool,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over the given per-node protocol instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.local_edges` is present but its length differs from the number
+    /// of nodes.
+    pub fn new(nodes: Vec<P>, config: SimConfig) -> Self {
+        let n = nodes.len();
+        if let Some(edges) = &config.local_edges {
+            assert_eq!(
+                edges.len(),
+                n,
+                "local edge table must have one entry per node"
+            );
+        }
+        let rngs = (0..n)
+            .map(|i| StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+            .collect();
+        let local_neighbors = config
+            .local_edges
+            .map(|edges| edges.into_iter().map(|v| v.into_iter().collect()).collect());
+        Simulator {
+            nodes,
+            rngs,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            caps: config.caps,
+            local_neighbors,
+            drop_rng: StdRng::seed_from_u64(config.seed.wrapping_add(1)),
+            metrics: RunMetrics::new(n),
+            round: 0,
+            started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()]
+    }
+
+    /// Immutable access to all node states.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the simulator and returns the node states.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// The metrics recorded so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Returns `true` if every node reports being done.
+    pub fn all_done(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_done)
+    }
+
+    /// Runs the start callback (if not yet run) and then message rounds until either
+    /// every node is done or `max_rounds` rounds have been executed.
+    pub fn run(&mut self, max_rounds: usize) -> RunOutcome {
+        self.ensure_started();
+        let mut executed = 0usize;
+        while executed < max_rounds && !self.all_done() {
+            self.step();
+            executed += 1;
+        }
+        RunOutcome {
+            rounds: self.round,
+            all_done: self.all_done(),
+        }
+    }
+
+    /// Runs exactly one message round (running the start callback first if needed).
+    pub fn step(&mut self) {
+        self.ensure_started();
+        let n = self.nodes.len();
+        let inboxes: Vec<Vec<Envelope<P::Message>>> =
+            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+
+        let mut round_metrics = RoundMetrics::default();
+        // Receive-side accounting happened when the messages were enqueued; here we
+        // only measure delivered counts.
+        for (i, inbox) in inboxes.iter().enumerate() {
+            round_metrics.max_received = round_metrics.max_received.max(inbox.len());
+            let globals = inbox
+                .iter()
+                .filter(|e| e.channel == Channel::Global)
+                .count();
+            round_metrics.max_global_received = round_metrics.max_global_received.max(globals);
+            round_metrics.delivered += inbox.len();
+            let _ = i;
+        }
+
+        self.round += 1;
+        let round = self.round;
+        let mut all_outboxes: Vec<Vec<(NodeId, Channel, P::Message)>> = Vec::with_capacity(n);
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx {
+                me: NodeId::from(i),
+                round,
+                n,
+                rng: &mut self.rngs[i],
+                outbox: &mut outbox,
+            };
+            self.nodes[i].on_round(&mut ctx, inbox);
+            all_outboxes.push(outbox);
+        }
+        self.dispatch(all_outboxes, &mut round_metrics);
+        self.metrics.rounds = self.round;
+        self.metrics.per_round.push(round_metrics);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let n = self.nodes.len();
+        let mut round_metrics = RoundMetrics::default();
+        let mut all_outboxes: Vec<Vec<(NodeId, Channel, P::Message)>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx {
+                me: NodeId::from(i),
+                round: 0,
+                n,
+                rng: &mut self.rngs[i],
+                outbox: &mut outbox,
+            };
+            self.nodes[i].on_start(&mut ctx);
+            all_outboxes.push(outbox);
+        }
+        self.dispatch(all_outboxes, &mut round_metrics);
+        self.metrics.per_round.push(round_metrics);
+    }
+
+    /// Applies send-side caps, enqueues messages for the next round, and applies
+    /// receive-side caps.
+    fn dispatch(
+        &mut self,
+        all_outboxes: Vec<Vec<(NodeId, Channel, P::Message)>>,
+        round_metrics: &mut RoundMetrics,
+    ) {
+        let n = self.nodes.len();
+        let global_send_cap = self.caps.global_cap();
+        let local_edge_cap = self.caps.local_edge_cap();
+
+        for (i, outbox) in all_outboxes.into_iter().enumerate() {
+            let sender = NodeId::from(i);
+            let mut global_sent = 0usize;
+            let mut total_sent = 0usize;
+            let mut per_edge: HashMap<NodeId, usize> = HashMap::new();
+            for (to, channel, payload) in outbox {
+                if to.index() >= n {
+                    round_metrics.dropped_send += 1;
+                    continue;
+                }
+                let allowed = match channel {
+                    Channel::Global => match global_send_cap {
+                        Some(cap) if global_sent >= cap => false,
+                        _ => true,
+                    },
+                    Channel::Local => {
+                        let is_edge = match &self.local_neighbors {
+                            Some(adj) => adj[i].contains(&to),
+                            // Without a declared local graph, local messages behave
+                            // like global ones under the active model's cap.
+                            None => true,
+                        };
+                        let under_edge_cap = match local_edge_cap {
+                            Some(cap) => {
+                                let count = per_edge.entry(to).or_insert(0);
+                                *count < cap
+                            }
+                            None => true,
+                        };
+                        is_edge && under_edge_cap
+                    }
+                };
+                if !allowed {
+                    round_metrics.dropped_send += 1;
+                    continue;
+                }
+                if channel == Channel::Local {
+                    *per_edge.entry(to).or_insert(0) += 1;
+                }
+                if channel == Channel::Global {
+                    global_sent += 1;
+                    self.metrics.total_global_sent_per_node[i] += 1;
+                }
+                total_sent += 1;
+                self.metrics.total_sent_per_node[i] += 1;
+                self.pending[to.index()].push(Envelope {
+                    from: sender,
+                    channel,
+                    payload,
+                });
+            }
+            round_metrics.max_sent = round_metrics.max_sent.max(total_sent);
+            round_metrics.max_global_sent = round_metrics.max_global_sent.max(global_sent);
+        }
+
+        // Receive caps: only global messages are capped per node (local messages are
+        // bounded by the CONGEST edge discipline already).
+        if let Some(cap) = self.caps.global_cap() {
+            for inbox in &mut self.pending {
+                let global_count = inbox
+                    .iter()
+                    .filter(|e| e.channel == Channel::Global)
+                    .count();
+                if global_count <= cap {
+                    continue;
+                }
+                // Keep a seeded-random subset of the global messages ("arbitrary subset"
+                // in the paper) and every local message.
+                let mut global_indices: Vec<usize> = inbox
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.channel == Channel::Global)
+                    .map(|(idx, _)| idx)
+                    .collect();
+                global_indices.shuffle(&mut self.drop_rng);
+                let drop_set: HashSet<usize> = global_indices[cap..].iter().copied().collect();
+                round_metrics.dropped_receive += drop_set.len();
+                let mut idx = 0usize;
+                inbox.retain(|_| {
+                    let keep = !drop_set.contains(&idx);
+                    idx += 1;
+                    keep
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node sends `fan_out` messages to node 0 each round, for `rounds` rounds.
+    #[derive(Debug)]
+    struct Flooder {
+        fan_out: usize,
+        rounds: usize,
+        received: usize,
+        done: bool,
+    }
+
+    impl Protocol for Flooder {
+        type Message = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            for k in 0..self.fan_out {
+                ctx.send_global(NodeId::from(0usize), k as u32);
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Vec<Envelope<u32>>) {
+            self.received += inbox.len();
+            if ctx.round() < self.rounds {
+                for k in 0..self.fan_out {
+                    ctx.send_global(NodeId::from(0usize), k as u32);
+                }
+            } else {
+                self.done = true;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn flooders(n: usize, fan_out: usize, rounds: usize) -> Vec<Flooder> {
+        (0..n)
+            .map(|_| Flooder {
+                fan_out,
+                rounds,
+                received: 0,
+                done: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_delivers_everything() {
+        let mut sim = Simulator::new(flooders(8, 2, 3), SimConfig::default());
+        let outcome = sim.run(10);
+        assert!(outcome.all_done);
+        // 8 nodes * 2 messages * 3 send opportunities (start + rounds 1 and 2); the
+        // sends of the final round are never made because the nodes finish first.
+        assert_eq!(sim.node(NodeId::from(0usize)).received, 8 * 2 * 3);
+        assert_eq!(sim.metrics().total_dropped_receive(), 0);
+        assert_eq!(sim.metrics().total_dropped_send(), 0);
+    }
+
+    #[test]
+    fn ncc0_receive_cap_drops_excess() {
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 { per_round: 4 },
+            seed: 7,
+            local_edges: None,
+        };
+        let mut sim = Simulator::new(flooders(16, 1, 2), config);
+        sim.run(10);
+        // Node 0 can receive at most 4 messages per round.
+        assert!(sim.metrics().max_received_in_any_round() <= 4);
+        assert!(sim.metrics().total_dropped_receive() > 0);
+        assert!(sim.node(NodeId::from(0usize)).received <= 4 * 3);
+    }
+
+    #[test]
+    fn ncc0_send_cap_drops_excess() {
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 { per_round: 3 },
+            seed: 7,
+            local_edges: None,
+        };
+        // A single node trying to send 10 messages per round to itself.
+        let mut sim = Simulator::new(flooders(1, 10, 1), config);
+        sim.run(5);
+        assert!(sim.metrics().max_sent_in_any_round() <= 3);
+        assert!(sim.metrics().total_dropped_send() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let config = SimConfig {
+                caps: CapacityModel::Ncc0 { per_round: 2 },
+                seed,
+                local_edges: None,
+            };
+            let mut sim = Simulator::new(flooders(12, 1, 3), config);
+            sim.run(10);
+            sim.node(NodeId::from(0usize)).received
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    /// Local-channel protocol for testing the CONGEST discipline.
+    #[derive(Debug)]
+    struct LocalSpammer {
+        target: NodeId,
+        copies: usize,
+        received: usize,
+    }
+
+    impl Protocol for LocalSpammer {
+        type Message = u8;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+            for _ in 0..self.copies {
+                ctx.send_local(self.target, 1);
+            }
+        }
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u8>, inbox: Vec<Envelope<u8>>) {
+            self.received += inbox.len();
+        }
+    }
+
+    #[test]
+    fn hybrid_local_edges_enforce_congest() {
+        // Node 0 and 1 are local neighbors; node 2 is isolated locally.
+        let local = vec![
+            vec![NodeId::from(1usize)],
+            vec![NodeId::from(0usize)],
+            vec![],
+        ];
+        let config = SimConfig {
+            caps: CapacityModel::Hybrid {
+                local_per_edge: 1,
+                global_per_round: 8,
+            },
+            seed: 3,
+            local_edges: Some(local),
+        };
+        let nodes = vec![
+            LocalSpammer {
+                target: NodeId::from(1usize),
+                copies: 5,
+                received: 0,
+            },
+            LocalSpammer {
+                target: NodeId::from(2usize),
+                copies: 2,
+                received: 0,
+            },
+            LocalSpammer {
+                target: NodeId::from(0usize),
+                copies: 1,
+                received: 0,
+            },
+        ];
+        let mut sim = Simulator::new(nodes, config);
+        sim.run(2);
+        // Only one of node 0's five copies travels the (0,1) edge per round.
+        assert_eq!(sim.node(NodeId::from(1usize)).received, 1);
+        // Node 1 -> 2 is not a local edge: nothing arrives.
+        assert_eq!(sim.node(NodeId::from(2usize)).received, 0);
+        // Node 2 -> 0 is not a local edge either.
+        assert_eq!(sim.node(NodeId::from(0usize)).received, 0);
+        assert!(sim.metrics().total_dropped_send() >= 4 + 2 + 1);
+    }
+
+    #[test]
+    fn run_respects_round_limit() {
+        let mut sim = Simulator::new(flooders(4, 1, 100), SimConfig::default());
+        let outcome = sim.run(5);
+        assert_eq!(outcome.rounds, 5);
+        assert!(!outcome.all_done);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per node")]
+    fn mismatched_local_edges_panic() {
+        let config = SimConfig {
+            caps: CapacityModel::Unbounded,
+            seed: 0,
+            local_edges: Some(vec![vec![]]),
+        };
+        let _ = Simulator::new(flooders(3, 1, 1), config);
+    }
+}

@@ -1,0 +1,103 @@
+//! A peer-to-peer bootstrap scenario.
+//!
+//! The introduction motivates the algorithm with logical networks (cryptocurrencies,
+//! IoT fleets, VPNs) that must organise themselves starting from whatever sparse
+//! knowledge graph the join procedure left behind. This example simulates such a
+//! bootstrap: peers start on a sparse, high-diameter "who referred whom" graph, build
+//! the overlay, and then use the resulting well-formed tree for the two everyday tasks
+//! the paper lists — aggregation and broadcast — comparing against doing the same over
+//! the raw referral graph.
+//!
+//! Run with `cargo run --example p2p_bootstrap [n]`.
+
+use overlay_networks::baselines::flooding;
+use overlay_networks::core::{ExpanderParams, OverlayBuilder};
+use overlay_networks::graph::{analysis, DiGraph, NodeId};
+
+/// Builds a referral graph: every joining peer knows only the peer that invited it,
+/// plus an occasional extra contact — a random tree with a few shortcuts.
+fn referral_graph(n: usize, seed: u64) -> DiGraph {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for v in 1..n {
+        // Preferentially refer from a recent peer so the tree is path-like (deep).
+        let lo = v.saturating_sub(4);
+        let referrer = rng.gen_range(lo..v);
+        g.add_edge(NodeId::from(referrer), NodeId::from(v));
+        if rng.gen_bool(0.05) {
+            let shortcut = rng.gen_range(0..v);
+            g.add_edge(NodeId::from(shortcut), NodeId::from(v));
+        }
+    }
+    g
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
+    let g = referral_graph(n, 7);
+    let und = g.to_undirected();
+    println!("== P2P bootstrap ==");
+    println!(
+        "referral graph: n = {n}, diameter = {:?}, max degree = {}",
+        analysis::diameter(&und),
+        und.max_degree()
+    );
+
+    // How long would a broadcast take on the raw referral graph?
+    let raw_broadcast =
+        flooding::rounds_until_all_know_minimum(&g, 1, 4 * n).expect("graph is connected");
+    println!("broadcast over the raw referral graph: {raw_broadcast} rounds (Θ(diameter))");
+
+    // Build the overlay.
+    let params = ExpanderParams::for_n(n).with_seed(11);
+    let result = OverlayBuilder::new(params)
+        .build(&g)
+        .expect("construction succeeds w.h.p.");
+    let tree = &result.tree;
+    println!(
+        "\noverlay construction: {} rounds, ≤ {} messages/node/round",
+        result.rounds.total(),
+        result.messages.max_per_node_per_round
+    );
+    println!(
+        "well-formed tree: degree ≤ {}, height {} (log₂ n = {:.1})",
+        tree.max_degree(),
+        tree.height(),
+        (n as f64).log2()
+    );
+
+    // Everyday P2P tasks over the tree: aggregation (count peers, find max load) is a
+    // convergecast, broadcast is the reverse — both cost one tree traversal.
+    let per_peer_load: Vec<u64> = (0..n as u64).map(|v| (v * 37) % 101).collect();
+    let mut subtree_load = per_peer_load.clone();
+    let mut subtree_size = vec![1u64; n];
+    // Convergecast bottom-up in height(T) rounds.
+    let depths = tree.depths();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(depths[v].unwrap_or(0)));
+    for &v in &order {
+        let p = tree.parent(NodeId::from(v));
+        if p.index() != v {
+            subtree_load[p.index()] += subtree_load[v];
+            subtree_size[p.index()] += subtree_size[v];
+        }
+    }
+    let root = tree.root();
+    println!("\n-- aggregation over the tree ({} rounds = tree height) --", tree.height());
+    println!(
+        "root {root} learns: {} peers online, total load {}",
+        subtree_size[root.index()],
+        subtree_load[root.index()]
+    );
+    println!(
+        "broadcast back down: {} rounds over the tree vs {} rounds over the referral graph ({}x faster)",
+        tree.height(),
+        raw_broadcast,
+        raw_broadcast / tree.height().max(1)
+    );
+}

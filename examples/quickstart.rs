@@ -1,0 +1,56 @@
+//! Quickstart: build a well-formed tree from the paper's worst-case input (a line).
+//!
+//! Run with `cargo run --example quickstart [n]`.
+
+use overlay_networks::core::{ExpanderParams, OverlayBuilder};
+use overlay_networks::graph::{analysis, generators};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(512);
+
+    println!("== Time-optimal overlay construction: quickstart ==");
+    println!("initial graph: line with n = {n} (diameter {}, conductance Θ(1/n))", n - 1);
+
+    let params = ExpanderParams::for_n(n).with_seed(42);
+    println!(
+        "parameters: Δ = {}, Λ = {}, ℓ = {}, L = {}, NCC0 cap = {} messages/round",
+        params.delta, params.lambda, params.walk_len, params.evolutions, params.ncc0_cap
+    );
+
+    let result = OverlayBuilder::new(params)
+        .build(&generators::line(n))
+        .expect("construction succeeds w.h.p.");
+
+    let expander = result.expander.simplify();
+    println!("\n-- final expander G_L --");
+    println!("connected:          {}", analysis::is_connected(&expander));
+    println!("diameter:           {:?}", analysis::diameter(&expander));
+    println!("max distinct degree: {}", expander.max_degree());
+
+    let tree = &result.tree;
+    println!("\n-- well-formed tree --");
+    println!("valid spanning tree: {}", tree.is_valid());
+    println!("root:                {}", tree.root());
+    println!("max degree:          {}", tree.max_degree());
+    println!("height:              {}", tree.height());
+
+    println!("\n-- model-level costs (Theorem 1.1 bounds) --");
+    println!(
+        "rounds: {} total ({} construction + {} BFS + {} finalize) — Θ(log n) with log₂ n = {}",
+        result.rounds.total(),
+        result.rounds.construction,
+        result.rounds.bfs,
+        result.rounds.finalize,
+        (n as f64).log2()
+    );
+    println!(
+        "messages: max {}/node/round (cap {}), max {} total per node, {} dropped",
+        result.messages.max_per_node_per_round,
+        params.ncc0_cap,
+        result.messages.max_total_per_node,
+        result.messages.dropped_receive + result.messages.dropped_send
+    );
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate of the *Time-Optimal Construction of Overlay Networks* reproduction
+//! (Götte, Hinnenthal, Scheideler, Werthmann — PODC 2021).
+//!
+//! This crate re-exports the workspace's public API so that examples and downstream
+//! users need a single dependency:
+//!
+//! * [`graph`] (`overlay-graph`) — graph types, generators, analysis and sequential
+//!   reference algorithms,
+//! * [`netsim`] (`overlay-netsim`) — the synchronous message-passing simulator with the
+//!   NCC0 and hybrid capacity models,
+//! * [`core`] (`overlay-core`) — the `CreateExpander` pipeline of Theorem 1.1,
+//! * [`hybrid`] (`overlay-hybrid`) — connected components, spanning trees, biconnected
+//!   components and MIS in the hybrid model (Theorems 1.2–1.5),
+//! * [`baselines`] (`overlay-baselines`) — supernode merging, pointer jumping, flooding
+//!   and Luby MIS baselines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use overlay_networks::core::{ExpanderParams, OverlayBuilder};
+//! use overlay_networks::graph::generators;
+//!
+//! let g = generators::line(64);
+//! let tree = OverlayBuilder::new(ExpanderParams::for_n(64))
+//!     .build(&g)
+//!     .unwrap()
+//!     .tree;
+//! assert!(tree.is_valid() && tree.max_degree() <= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use overlay_baselines as baselines;
+pub use overlay_core as core;
+pub use overlay_graph as graph;
+pub use overlay_hybrid as hybrid;
+pub use overlay_netsim as netsim;

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests for the Theorem 1.1 pipeline: arbitrary weakly
+//! connected constant-degree graphs become well-formed trees within the model's round
+//! and message budgets.
+
+use overlay_networks::core::{ExpanderParams, OverlayBuilder, OverlayError};
+use overlay_networks::graph::{analysis, generators, DiGraph};
+use overlay_networks::netsim::caps::log2_ceil;
+
+fn build(g: &DiGraph, seed: u64) -> overlay_networks::core::OverlayResult {
+    let params = ExpanderParams::for_n(g.node_count()).with_seed(seed);
+    OverlayBuilder::new(params)
+        .build(g)
+        .expect("pipeline succeeds w.h.p.")
+}
+
+#[test]
+fn well_formed_tree_on_every_constant_degree_topology() {
+    let n = 192;
+    let topologies: Vec<(&str, DiGraph)> = vec![
+        ("line", generators::line(n)),
+        ("cycle", generators::cycle(n)),
+        ("binary-tree", generators::binary_tree(n)),
+        ("grid", generators::grid(12, 16)),
+        ("random-4-regular", generators::random_regular(n, 4, 3)),
+    ];
+    for (name, g) in topologies {
+        let result = build(&g, 100);
+        let tree = &result.tree;
+        assert!(tree.is_valid(), "{name}: tree must be valid");
+        assert_eq!(tree.node_count(), g.node_count(), "{name}: tree must span all nodes");
+        assert!(tree.max_degree() <= 4, "{name}: degree must be constant");
+        let log_n = log2_ceil(g.node_count());
+        assert!(
+            tree.height() <= 6 * log_n,
+            "{name}: height {} should be O(log n) (log n = {log_n})",
+            tree.height()
+        );
+        assert_eq!(result.messages.dropped_receive, 0, "{name}: no drops");
+    }
+}
+
+#[test]
+fn rounds_and_messages_scale_logarithmically() {
+    // Rounds are fixed by the parameter schedule (all Θ(log n)); messages per node per
+    // round stay within the cap at every size.
+    let mut last_rounds = 0usize;
+    for exp in [6usize, 7, 8] {
+        let n = 1usize << exp;
+        let result = build(&generators::line(n), 55);
+        let params = ExpanderParams::for_n(n);
+        assert!(result.messages.max_per_node_per_round <= params.ncc0_cap);
+        let log_n = exp as u64;
+        assert!(
+            result.messages.max_total_per_node <= 60 * log_n * log_n,
+            "total messages per node {} must be O(log² n)",
+            result.messages.max_total_per_node
+        );
+        assert!(result.rounds.total() > last_rounds, "rounds grow with n");
+        last_rounds = result.rounds.total();
+    }
+    // Doubling n from 64 to 256 should increase rounds by roughly the additive Θ(log)
+    // schedule, not multiplicatively.
+    let r64 = build(&generators::line(64), 56).rounds.total();
+    let r256 = build(&generators::line(256), 56).rounds.total();
+    assert!(
+        (r256 as f64) < 1.6 * r64 as f64,
+        "rounds must grow logarithmically: {r64} -> {r256}"
+    );
+}
+
+#[test]
+fn expander_diameter_is_logarithmic() {
+    let n = 256;
+    let result = build(&generators::line(n), 77);
+    let simple = result.expander.simplify();
+    assert!(analysis::is_connected(&simple));
+    let diam = analysis::diameter(&simple).expect("connected");
+    assert!(diam <= 3 * log2_ceil(n), "diameter {diam} not O(log n)");
+    // The BFS tree of the expander is a spanning tree of it.
+    assert!(analysis::is_spanning_tree(&simple, &result.bfs_parents));
+}
+
+#[test]
+fn unusable_inputs_are_rejected() {
+    let params = ExpanderParams::for_n(32);
+    assert_eq!(
+        OverlayBuilder::new(params).build(&DiGraph::new(0)).unwrap_err(),
+        OverlayError::EmptyGraph
+    );
+    let disconnected = generators::disjoint_union(&[generators::line(16), generators::line(16)]);
+    assert_eq!(
+        OverlayBuilder::new(params).build(&disconnected).unwrap_err(),
+        OverlayError::Disconnected
+    );
+    assert!(matches!(
+        OverlayBuilder::new(ExpanderParams::for_n(64))
+            .build(&generators::star(64))
+            .unwrap_err(),
+        OverlayError::DegreeTooLarge { .. }
+    ));
+}
+
+#[test]
+fn different_seeds_give_different_but_valid_overlays() {
+    let g = generators::cycle(96);
+    let a = build(&g, 1);
+    let b = build(&g, 2);
+    assert!(a.tree.is_valid() && b.tree.is_valid());
+    assert_ne!(
+        a.expander.edges(),
+        b.expander.edges(),
+        "different seeds should sample different expanders"
+    );
+}
