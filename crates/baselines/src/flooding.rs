@@ -116,7 +116,10 @@ mod tests {
     fn flooding_on_line_takes_linear_rounds() {
         let n = 64;
         let rounds = rounds_until_all_know_minimum(&generators::line(n), 1, 2 * n).unwrap();
-        assert!(rounds >= n - 2, "line flooding must take ~n rounds, took {rounds}");
+        assert!(
+            rounds >= n - 2,
+            "line flooding must take ~n rounds, took {rounds}"
+        );
         assert!(rounds <= n + 2);
     }
 
@@ -128,6 +131,9 @@ mod tests {
 
     #[test]
     fn flooding_respects_round_limit() {
-        assert_eq!(rounds_until_all_know_minimum(&generators::line(128), 1, 10), None);
+        assert_eq!(
+            rounds_until_all_know_minimum(&generators::line(128), 1, 10),
+            None
+        );
     }
 }

@@ -162,8 +162,12 @@ mod tests {
 
     #[test]
     fn total_rounds_grow_superlinearly_in_log_n() {
-        let small = SupernodeMerge::new(3).run(&generators::line(64)).total_rounds();
-        let large = SupernodeMerge::new(3).run(&generators::line(1024)).total_rounds();
+        let small = SupernodeMerge::new(3)
+            .run(&generators::line(64))
+            .total_rounds();
+        let large = SupernodeMerge::new(3)
+            .run(&generators::line(1024))
+            .total_rounds();
         // log² growth: quadrupling log n (6 -> 10) should more than double the rounds.
         assert!(
             large as f64 >= 1.8 * small as f64,

@@ -19,7 +19,9 @@ fn bench_construction(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
                 b.iter(|| {
                     let params = ExpanderParams::for_n(g.node_count()).with_seed(1);
-                    OverlayBuilder::new(params).build(g).expect("pipeline succeeds")
+                    OverlayBuilder::new(params)
+                        .build(g)
+                        .expect("pipeline succeeds")
                 });
             });
         }

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use overlay_graph::generators;
-use overlay_hybrid::{
-    sparsify, ComponentsConfig, HybridComponents, HybridMis, HybridSpanningTree,
-};
+use overlay_hybrid::{sparsify, ComponentsConfig, HybridComponents, HybridMis, HybridSpanningTree};
 
 fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorem_1_2_components");
@@ -65,5 +63,10 @@ fn bench_sparsify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_components, bench_spanning_tree_and_mis, bench_sparsify);
+criterion_group!(
+    benches,
+    bench_components,
+    bench_spanning_tree_and_mis,
+    bench_sparsify
+);
 criterion_main!(benches);

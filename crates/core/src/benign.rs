@@ -95,7 +95,10 @@ pub fn make_benign(g: &DiGraph, params: &ExpanderParams) -> Result<UGraph, Overl
 /// [`make_benign`]; this is the initial local state of the distributed protocol (each
 /// node can compute it from its incident edges alone, so no global knowledge is
 /// assumed).
-pub fn benign_slots(g: &DiGraph, params: &ExpanderParams) -> Result<Vec<Vec<NodeId>>, OverlayError> {
+pub fn benign_slots(
+    g: &DiGraph,
+    params: &ExpanderParams,
+) -> Result<Vec<Vec<NodeId>>, OverlayError> {
     let benign = make_benign(g, params)?;
     Ok(benign
         .nodes()

@@ -5,13 +5,26 @@
 //! constant-degree knowledge graph and returns a [`WellFormedTree`], together with the
 //! model-level costs (rounds per phase and message statistics) the paper's theorems
 //! bound.
+//!
+//! Two entry points exist:
+//!
+//! * [`OverlayBuilder::build`] — the paper's setting: a clean network; any phase
+//!   failure is an [`OverlayError`].
+//! * [`OverlayBuilder::build_under_faults`] — the same pipeline run against a
+//!   [`FaultPlan`]; phase failures, crashed nodes and stragglers are *surfaced* in a
+//!   [`BuildReport`] instead of erased into an error, so experiments can measure how
+//!   much of the overlay still forms under churn. If the surviving overlay fragments
+//!   after construction, the pipeline continues on the largest connected component
+//!   (the "core") and reports the fragmentation honestly.
 
 use crate::bfs::BfsNode;
 use crate::expander::ExpanderNode;
 use crate::wellformed::{BinarizeNode, WellFormedTree};
 use crate::{benign, ExpanderParams, OverlayError};
 use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
+use overlay_netsim::faults::{CrashEvent, FaultPlan, Partition};
 use overlay_netsim::{CapacityModel, RunMetrics, SimConfig, Simulator};
+use std::collections::BTreeMap;
 
 /// Round counts of the three phases of the pipeline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,6 +57,12 @@ pub struct MessageStats {
     pub dropped_receive: u64,
     /// Messages dropped at senders (should be zero).
     pub dropped_send: u64,
+    /// Messages lost to injected faults (random loss + partitions), zero in clean runs.
+    pub dropped_fault: u64,
+    /// Messages addressed to crashed or not-yet-joined nodes, zero in clean runs.
+    pub dropped_offline: u64,
+    /// Messages that suffered an injected delivery delay, zero in clean runs.
+    pub delayed: u64,
 }
 
 impl MessageStats {
@@ -56,6 +75,9 @@ impl MessageStats {
         self.total_delivered += metrics.total_delivered();
         self.dropped_receive += metrics.total_dropped_receive();
         self.dropped_send += metrics.total_dropped_send();
+        self.dropped_fault += metrics.total_dropped_fault() + metrics.total_dropped_partition();
+        self.dropped_offline += metrics.total_dropped_offline();
+        self.delayed += metrics.total_delayed();
     }
 }
 
@@ -63,6 +85,8 @@ impl MessageStats {
 #[derive(Clone, Debug)]
 pub struct OverlayResult {
     /// The final evolution graph `G_L` (an expander of degree Δ, including self-loops).
+    /// Under faults this covers the core nodes only (see
+    /// [`BuildReport::survivor_ids`]) and dead nodes' edges are pruned.
     pub expander: UGraph,
     /// The BFS tree on `G_L` (parents before binarization).
     pub bfs_parents: Vec<NodeId>,
@@ -72,6 +96,103 @@ pub struct OverlayResult {
     pub rounds: RoundBreakdown,
     /// Message statistics across all phases.
     pub messages: MessageStats,
+}
+
+/// How one simulated phase of the pipeline ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// The phase terminated within its round budget.
+    Completed {
+        /// Rounds the phase executed.
+        rounds: usize,
+    },
+    /// The phase exhausted its budget with nodes still running (or left the
+    /// surviving nodes unconverged).
+    Stalled {
+        /// Rounds the phase executed.
+        rounds: usize,
+        /// The budget that was exhausted.
+        budget: usize,
+        /// Nodes that did finish (crashed nodes count as finished).
+        nodes_done: usize,
+        /// Nodes the phase simulated.
+        nodes_total: usize,
+    },
+    /// The surviving overlay split into several components after construction; the
+    /// pipeline continued on the largest one.
+    Fragmented {
+        /// Number of connected components among the survivors.
+        components: usize,
+        /// Size of the largest component (the core the pipeline continues with).
+        core_size: usize,
+    },
+}
+
+impl PhaseOutcome {
+    /// `true` for [`PhaseOutcome::Stalled`].
+    pub fn is_stall(&self) -> bool {
+        matches!(self, PhaseOutcome::Stalled { .. })
+    }
+}
+
+/// Everything a fault-injected pipeline run reveals: per-phase outcomes, the overlay
+/// that did form (if any), and who survived.
+///
+/// Produced by [`OverlayBuilder::build_under_faults`]. Input-validation problems
+/// (bad parameters, empty/disconnected/over-degree graphs, fault plans referencing
+/// missing nodes) are still hard [`OverlayError`]s — a report is only produced once
+/// the pipeline actually runs.
+#[derive(Clone, Debug)]
+pub struct BuildReport {
+    /// The completed overlay over the core nodes, if every phase finished and the
+    /// binarized parents formed a rooted tree.
+    pub result: Option<OverlayResult>,
+    /// One entry per phase event, in order: `create-expander`, then
+    /// `survivor-connectivity` when fragmentation occurred, then `bfs` (completed
+    /// its rounds), then `bfs-convergence` if the survivors did not agree on a
+    /// root, then `binarize` on a binarization stall or `finalize` otherwise.
+    pub phases: Vec<(&'static str, PhaseOutcome)>,
+    /// Original identifiers of the core nodes; index `i` of the result's graphs is
+    /// `survivor_ids[i]`. Equal to all nodes in a clean run.
+    pub survivor_ids: Vec<NodeId>,
+    /// Liveness of each core node at the very end of the pipeline (a node may crash
+    /// after making it into the core). Empty if any phase before binarization
+    /// stalled.
+    pub alive_at_end: Vec<bool>,
+    /// Whether the final tree is valid restricted to the nodes alive at the end
+    /// (`false` whenever `result` is `None`).
+    pub tree_valid_over_alive: bool,
+    /// Rounds per phase (zero for phases that never ran).
+    pub rounds: RoundBreakdown,
+    /// Message statistics across the phases that ran.
+    pub messages: MessageStats,
+    /// Total crash events executed across all phases.
+    pub crashed: usize,
+    /// Total join events executed across all phases.
+    pub joined: usize,
+}
+
+impl BuildReport {
+    /// `true` if the pipeline produced a valid tree over the nodes alive at the end.
+    pub fn is_success(&self) -> bool {
+        self.result.is_some() && self.tree_valid_over_alive
+    }
+
+    /// Fraction of the initial `n` nodes covered by the final tree's alive nodes.
+    pub fn coverage(&self, n: usize) -> f64 {
+        if n == 0 || self.result.is_none() {
+            return 0.0;
+        }
+        self.alive_at_end.iter().filter(|a| **a).count() as f64 / n as f64
+    }
+
+    /// The name of the first stalled phase, if any.
+    pub fn stalled_phase(&self) -> Option<&'static str> {
+        self.phases
+            .iter()
+            .find(|(_, o)| o.is_stall())
+            .map(|(name, _)| *name)
+    }
 }
 
 /// Builds well-formed trees from arbitrary weakly connected constant-degree graphs by
@@ -105,7 +226,7 @@ impl OverlayBuilder {
         &self.params
     }
 
-    /// Runs the full pipeline on the knowledge graph `g`.
+    /// Runs the full pipeline on the knowledge graph `g` in a clean network.
     ///
     /// # Errors
     ///
@@ -117,23 +238,93 @@ impl OverlayBuilder {
     /// * [`OverlayError::PhaseIncomplete`] if a phase exceeds its round budget (does not
     ///   happen w.h.p. with the default parameters).
     pub fn build(&self, g: &DiGraph) -> Result<OverlayResult, OverlayError> {
+        let report = self.build_under_faults(g, &FaultPlan::default())?;
+        match report.result {
+            // The clean path keeps the strict contract: the tree must contain every
+            // node. A fragmented (partial-core) result — possible without faults only
+            // when the w.h.p. connectivity of G_L fails — is an error here, not a
+            // silently smaller tree.
+            Some(result)
+                if report.survivor_ids.len() == g.node_count() && report.tree_valid_over_alive =>
+            {
+                Ok(result)
+            }
+            Some(_) if report.survivor_ids.len() != g.node_count() => {
+                Err(OverlayError::PhaseIncomplete {
+                    phase: "survivor-connectivity",
+                    budget: 0,
+                })
+            }
+            Some(_) => Err(OverlayError::PhaseIncomplete {
+                phase: "finalize",
+                budget: 0,
+            }),
+            None => {
+                let (phase, outcome) = report
+                    .phases
+                    .last()
+                    .copied()
+                    .expect("a failed report names the failing phase");
+                let budget = match outcome {
+                    PhaseOutcome::Stalled { budget, .. } => budget,
+                    _ => 0,
+                };
+                Err(OverlayError::PhaseIncomplete { phase, budget })
+            }
+        }
+    }
+
+    /// Runs the full pipeline against the given [`FaultPlan`], reporting partial
+    /// outcomes instead of erasing them into errors.
+    ///
+    /// The plan's timeline starts at the construction phase's round 0 and spans the
+    /// whole pipeline: events scheduled beyond a phase's end carry over (shifted) into
+    /// the following phases. Joins must land within the construction schedule: the
+    /// simulation waits for every scheduled joiner, so a join beyond the construction
+    /// budget stalls that phase (reported as `create-expander` Stalled). Joins never
+    /// carry over into BFS/binarization — a node that joined too late to make the
+    /// core missed the overlay and stays offline there.
+    ///
+    /// # Errors
+    ///
+    /// Only input-validation failures ([`OverlayError::InvalidParams`],
+    /// [`OverlayError::EmptyGraph`], [`OverlayError::Disconnected`],
+    /// [`OverlayError::DegreeTooLarge`]); everything that happens *during* the run is
+    /// reported in the returned [`BuildReport`].
+    pub fn build_under_faults(
+        &self,
+        g: &DiGraph,
+        faults: &FaultPlan,
+    ) -> Result<BuildReport, OverlayError> {
         let params = self.params;
         params.validate().map_err(OverlayError::InvalidParams)?;
-        if g.node_count() == 0 {
+        let n = g.node_count();
+        if n == 0 {
             return Err(OverlayError::EmptyGraph);
         }
         if !analysis::is_connected(&g.to_undirected()) {
             return Err(OverlayError::Disconnected);
         }
+        faults.validate(n).map_err(OverlayError::InvalidParams)?;
         // Validates the degree precondition; the protocol nodes recompute their slots
         // locally during the run.
         benign::make_benign(g, &params)?;
 
-        let n = g.node_count();
-        let mut messages = MessageStats::default();
+        let mut report = BuildReport {
+            result: None,
+            phases: Vec::new(),
+            survivor_ids: Vec::new(),
+            alive_at_end: Vec::new(),
+            tree_valid_over_alive: false,
+            rounds: RoundBreakdown::default(),
+            messages: MessageStats::default(),
+            crashed: 0,
+            joined: 0,
+        };
         let mut total_sent_per_node = vec![0u64; n];
 
-        // Phase 1: CreateExpander.
+        // Phase 1: CreateExpander over all n nodes (joiners included; the fault
+        // router keeps them dormant until their join round).
         let expander_nodes: Vec<ExpanderNode> = g
             .nodes()
             .map(|v| {
@@ -149,25 +340,86 @@ impl OverlayBuilder {
             },
             seed: params.seed,
             local_edges: None,
+            faults: faults.clone(),
         };
         let mut sim = Simulator::new(expander_nodes, config);
         let budget = ExpanderNode::total_rounds(&params) + 2;
         let outcome = sim.run(budget);
+        report.rounds.construction = outcome.rounds;
+        absorb_phase(&mut report, sim.metrics(), &mut total_sent_per_node, None);
         if !outcome.all_done {
-            return Err(OverlayError::PhaseIncomplete {
-                phase: "create-expander",
+            let done = sim.done_count();
+            stall(
+                &mut report,
+                "create-expander",
+                outcome.rounds,
                 budget,
-            });
+                done,
+                n,
+                &total_sent_per_node,
+            );
+            return Ok(report);
         }
-        let construction_rounds = outcome.rounds;
-        messages.absorb(sim.metrics());
-        for (i, s) in sim.metrics().total_sent_per_node.iter().enumerate() {
-            total_sent_per_node[i] += s;
-        }
-        let nodes = sim.into_nodes();
-        let expander = slots_to_graph(&nodes);
+        report.phases.push((
+            "create-expander",
+            PhaseOutcome::Completed {
+                rounds: outcome.rounds,
+            },
+        ));
 
-        // Phase 2: BFS on the expander.
+        // Who made it out of construction alive?
+        let alive1: Vec<bool> = (0..n).map(|i| sim.is_active(NodeId::from(i))).collect();
+        let nodes = sim.into_nodes();
+
+        // The survivor-induced final evolution graph; edges into dead nodes dangle
+        // and are pruned. If the survivors fragment, continue on the largest
+        // component — the "core" — and report the fragmentation.
+        let survivors: Vec<usize> = (0..n).filter(|&i| alive1[i]).collect();
+        let full = survivor_graph(&nodes, &alive1);
+        let comps = analysis::connected_components(&full.simplify());
+        let mut sizes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &v in &survivors {
+            *sizes.entry(comps.label(NodeId::from(v))).or_insert(0) += 1;
+        }
+        let component_count = sizes.len();
+        let Some((&core_comp, &core_size)) =
+            sizes.iter().max_by_key(|&(&comp, &size)| (size, comp))
+        else {
+            // Everyone crashed during construction.
+            report.phases.push((
+                "survivor-connectivity",
+                PhaseOutcome::Fragmented {
+                    components: 0,
+                    core_size: 0,
+                },
+            ));
+            finish_totals(&mut report, &total_sent_per_node);
+            return Ok(report);
+        };
+        if component_count > 1 {
+            report.phases.push((
+                "survivor-connectivity",
+                PhaseOutcome::Fragmented {
+                    components: component_count,
+                    core_size,
+                },
+            ));
+        }
+        let core_old_ids: Vec<usize> = survivors
+            .into_iter()
+            .filter(|&v| comps.label(NodeId::from(v)) == core_comp)
+            .collect();
+        let mut old_to_new = vec![None; n];
+        for (new, &old) in core_old_ids.iter().enumerate() {
+            old_to_new[old] = Some(new);
+        }
+        let m = core_old_ids.len();
+        report.survivor_ids = core_old_ids.iter().map(|&v| NodeId::from(v)).collect();
+        let expander = remapped_graph(&nodes, &core_old_ids, &old_to_new);
+
+        // Phase 2: BFS on the core expander, under the remainder of the fault plan.
+        let offset1 = report.rounds.construction;
+        let bfs_faults = remap_plan(&faults.shifted(offset1), &old_to_new);
         let bfs_nodes: Vec<BfsNode> = expander
             .nodes()
             .map(|v| BfsNode::new(v, expander.distinct_neighbors(v), params.bfs_rounds))
@@ -178,31 +430,74 @@ impl OverlayBuilder {
             },
             seed: params.seed.wrapping_add(1),
             local_edges: None,
+            faults: bfs_faults,
         };
         let mut sim = Simulator::new(bfs_nodes, config);
         let budget = BfsNode::total_rounds(params.bfs_rounds) + 1;
         let outcome = sim.run(budget);
+        report.rounds.bfs = outcome.rounds;
+        absorb_phase(
+            &mut report,
+            sim.metrics(),
+            &mut total_sent_per_node,
+            Some(&core_old_ids),
+        );
         if !outcome.all_done {
-            return Err(OverlayError::PhaseIncomplete { phase: "bfs", budget });
+            let done = sim.done_count();
+            stall(
+                &mut report,
+                "bfs",
+                outcome.rounds,
+                budget,
+                done,
+                m,
+                &total_sent_per_node,
+            );
+            return Ok(report);
         }
-        let bfs_rounds = outcome.rounds;
-        messages.absorb(sim.metrics());
-        for (i, s) in sim.metrics().total_sent_per_node.iter().enumerate() {
-            total_sent_per_node[i] += s;
-        }
+        let alive2: Vec<bool> = (0..m).map(|i| sim.is_active(NodeId::from(i))).collect();
+        report.phases.push((
+            "bfs",
+            PhaseOutcome::Completed {
+                rounds: outcome.rounds,
+            },
+        ));
         let bfs = sim.into_nodes();
-        let root = bfs[0].root();
-        for node in &bfs {
-            if node.root() != root || (node.id() != root && node.parent() == node.id()) {
-                return Err(OverlayError::PhaseIncomplete {
-                    phase: "bfs-convergence",
-                    budget,
-                });
-            }
+        // Convergence among the nodes still alive: one shared root, no self-parents.
+        let root = bfs
+            .iter()
+            .enumerate()
+            .find(|(i, _)| alive2[*i])
+            .map(|(_, b)| b.root());
+        let converged = match root {
+            None => false,
+            Some(root) => bfs.iter().enumerate().all(|(i, node)| {
+                !alive2[i]
+                    || (node.root() == root && (node.id() == root || node.parent() != node.id()))
+            }),
+        };
+        if !converged {
+            let agreeing = bfs
+                .iter()
+                .enumerate()
+                .filter(|(i, b)| !alive2[*i] || Some(b.root()) == root)
+                .count();
+            stall(
+                &mut report,
+                "bfs-convergence",
+                outcome.rounds,
+                budget,
+                agreeing,
+                m,
+                &total_sent_per_node,
+            );
+            return Ok(report);
         }
         let bfs_parents: Vec<NodeId> = bfs.iter().map(BfsNode::parent).collect();
 
         // Phase 3: binarization into a well-formed tree.
+        let offset2 = offset1 + report.rounds.bfs;
+        let bin_faults = remap_plan(&faults.shifted(offset2), &old_to_new);
         let bin_nodes: Vec<BinarizeNode> = bfs
             .iter()
             .map(|b| BinarizeNode::new(b.id(), b.parent(), b.children().to_vec()))
@@ -213,53 +508,239 @@ impl OverlayBuilder {
             },
             seed: params.seed.wrapping_add(2),
             local_edges: None,
+            faults: bin_faults,
         };
         let mut sim = Simulator::new(bin_nodes, config);
         let budget = BinarizeNode::total_rounds() + 1;
         let outcome = sim.run(budget);
+        report.rounds.finalize = outcome.rounds;
+        absorb_phase(
+            &mut report,
+            sim.metrics(),
+            &mut total_sent_per_node,
+            Some(&core_old_ids),
+        );
         if !outcome.all_done {
-            return Err(OverlayError::PhaseIncomplete {
-                phase: "binarize",
+            let done = sim.done_count();
+            stall(
+                &mut report,
+                "binarize",
+                outcome.rounds,
                 budget,
-            });
+                done,
+                m,
+                &total_sent_per_node,
+            );
+            return Ok(report);
         }
-        let finalize_rounds = outcome.rounds;
-        messages.absorb(sim.metrics());
-        for (i, s) in sim.metrics().total_sent_per_node.iter().enumerate() {
-            total_sent_per_node[i] += s;
-        }
+        let alive3: Vec<bool> = (0..m).map(|i| sim.is_active(NodeId::from(i))).collect();
         let parents: Vec<NodeId> = sim.nodes().iter().map(BinarizeNode::new_parent).collect();
-        let tree = WellFormedTree::from_parents(parents);
 
-        messages.max_total_per_node = total_sent_per_node.iter().copied().max().unwrap_or(0);
-        Ok(OverlayResult {
-            expander,
-            bfs_parents,
-            tree,
-            rounds: RoundBreakdown {
-                construction: construction_rounds,
-                bfs: bfs_rounds,
-                finalize: finalize_rounds,
-            },
-            messages,
-        })
+        finish_totals(&mut report, &total_sent_per_node);
+        match WellFormedTree::from_parents_over(parents, &alive3) {
+            Some(tree) => {
+                report.phases.push((
+                    "finalize",
+                    PhaseOutcome::Completed {
+                        rounds: outcome.rounds,
+                    },
+                ));
+                report.tree_valid_over_alive = tree.is_valid_over(&alive3);
+                report.alive_at_end = alive3;
+                report.result = Some(OverlayResult {
+                    expander,
+                    bfs_parents,
+                    tree,
+                    rounds: report.rounds,
+                    messages: report.messages,
+                });
+            }
+            None => {
+                report.phases.push((
+                    "finalize",
+                    PhaseOutcome::Stalled {
+                        rounds: outcome.rounds,
+                        budget,
+                        nodes_done: alive3.iter().filter(|a| **a).count(),
+                        nodes_total: m,
+                    },
+                ));
+                report.alive_at_end = alive3;
+            }
+        }
+        Ok(report)
     }
 }
 
-/// Reconstructs the final evolution graph from the per-node slot lists.
-fn slots_to_graph(nodes: &[ExpanderNode]) -> UGraph {
-    let mut g = UGraph::new(nodes.len());
+/// Records a stalled phase and closes the report's totals (every stall exits the
+/// pipeline, so this is the single place the two always happen together).
+fn stall(
+    report: &mut BuildReport,
+    phase: &'static str,
+    rounds: usize,
+    budget: usize,
+    nodes_done: usize,
+    nodes_total: usize,
+    total_sent_per_node: &[u64],
+) {
+    report.phases.push((
+        phase,
+        PhaseOutcome::Stalled {
+            rounds,
+            budget,
+            nodes_done,
+            nodes_total,
+        },
+    ));
+    finish_totals(report, total_sent_per_node);
+}
+
+/// Folds one phase's metrics into the report; `remap` gives the original id of each
+/// simulated node when the phase ran on the remapped core. For remapped phases,
+/// crashes recorded at round 0 are *inherited* (a prior phase's crash pinned there
+/// by [`FaultPlan::shifted`]) and were already counted, so they are skipped.
+fn absorb_phase(
+    report: &mut BuildReport,
+    metrics: &RunMetrics,
+    total_sent_per_node: &mut [u64],
+    remap: Option<&[usize]>,
+) {
+    report.messages.absorb(metrics);
+    let inherited = if remap.is_some() {
+        metrics.per_round.first().map_or(0, |r| r.crashed)
+    } else {
+        0
+    };
+    report.crashed += metrics.total_crashed() - inherited;
+    report.joined += metrics.total_joined();
+    for (i, s) in metrics.total_sent_per_node.iter().enumerate() {
+        let orig = remap.map_or(i, |ids| ids[i]);
+        total_sent_per_node[orig] += s;
+    }
+}
+
+/// Called on every exit path before `report.result` is constructed, so the
+/// success path picks the final totals up from `report.messages`.
+fn finish_totals(report: &mut BuildReport, total_sent_per_node: &[u64]) {
+    report.messages.max_total_per_node = total_sent_per_node.iter().copied().max().unwrap_or(0);
+}
+
+/// `(smaller id, larger id) -> (multiplicity at smaller, multiplicity at larger)`.
+type EdgeCounts = BTreeMap<(usize, usize), (usize, usize)>;
+
+/// Collects the alive-to-alive slot edges of the final evolution graph, plus
+/// per-node self-loop counts.
+///
+/// Under message loss an Accept can be dropped, leaving an edge in only one
+/// endpoint's slots; such half-acknowledged edges are *included* (one-sided
+/// knowledge suffices to re-establish contact in the NCC0 model), with the
+/// multiplicity the better-informed side holds — so the reconstruction depends on
+/// protocol state only, never on id order. Clean runs hold every edge
+/// symmetrically, and `max(k, k) == k` reproduces the exact fault-free graph.
+fn slot_edges(nodes: &[ExpanderNode], alive: &[bool]) -> (EdgeCounts, Vec<usize>) {
+    let mut pairs: EdgeCounts = BTreeMap::new();
+    let mut self_loops = vec![0usize; nodes.len()];
     for node in nodes {
-        let v = node.id();
+        let v = node.id().index();
+        if !alive[v] {
+            continue;
+        }
         for &w in node.slots() {
+            let w = w.index();
             if w == v {
-                g.add_self_loop(v);
-            } else if w > v {
-                g.add_edge(v, w);
+                self_loops[v] += 1;
+            } else if alive[w] {
+                let (key, side) = if v < w { ((v, w), 0) } else { ((w, v), 1) };
+                let entry = pairs.entry(key).or_insert((0, 0));
+                if side == 0 {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
             }
         }
     }
+    (pairs, self_loops)
+}
+
+/// The survivor-induced final evolution graph indexed by *original* ids; dead nodes
+/// stay as isolated vertices and edges into them are pruned.
+fn survivor_graph(nodes: &[ExpanderNode], alive: &[bool]) -> UGraph {
+    let (pairs, self_loops) = slot_edges(nodes, alive);
+    let mut g = UGraph::new(nodes.len());
+    for ((a, b), (from_a, from_b)) in pairs {
+        for _ in 0..from_a.max(from_b) {
+            g.add_edge(NodeId::from(a), NodeId::from(b));
+        }
+    }
+    for (v, &loops) in self_loops.iter().enumerate() {
+        for _ in 0..loops {
+            g.add_self_loop(NodeId::from(v));
+        }
+    }
     g
+}
+
+/// The core subgraph reindexed to `0..core.len()`, with the same half-edge
+/// semantics as [`survivor_graph`].
+fn remapped_graph(nodes: &[ExpanderNode], core: &[usize], old_to_new: &[Option<usize>]) -> UGraph {
+    let mut in_core = vec![false; nodes.len()];
+    for &old in core {
+        in_core[old] = true;
+    }
+    let (pairs, self_loops) = slot_edges(nodes, &in_core);
+    let mut g = UGraph::new(core.len());
+    for ((a, b), (from_a, from_b)) in pairs {
+        let (na, nb) = (
+            old_to_new[a].expect("edge endpoints are in the core"),
+            old_to_new[b].expect("edge endpoints are in the core"),
+        );
+        for _ in 0..from_a.max(from_b) {
+            g.add_edge(NodeId::from(na), NodeId::from(nb));
+        }
+    }
+    for &old in core {
+        let v = old_to_new[old].expect("core nodes are mapped");
+        for _ in 0..self_loops[old] {
+            g.add_self_loop(NodeId::from(v));
+        }
+    }
+    g
+}
+
+/// Restricts a (already time-shifted) fault plan to the remapped core: events for
+/// dead nodes disappear, joins are dropped entirely (nodes that had not joined by the
+/// end of construction missed the overlay), and partitions keep only their core
+/// members.
+fn remap_plan(plan: &FaultPlan, old_to_new: &[Option<usize>]) -> FaultPlan {
+    FaultPlan {
+        drop_prob: plan.drop_prob,
+        delay: plan.delay,
+        crashes: plan
+            .crashes
+            .iter()
+            .filter_map(|c| {
+                old_to_new[c.node.index()].map(|i| CrashEvent {
+                    round: c.round,
+                    node: NodeId::from(i),
+                })
+            })
+            .collect(),
+        joins: Vec::new(),
+        partitions: plan
+            .partitions
+            .iter()
+            .map(|p| Partition {
+                from_round: p.from_round,
+                heal_round: p.heal_round,
+                side_a: p
+                    .side_a
+                    .iter()
+                    .filter_map(|v| old_to_new[v.index()].map(NodeId::from))
+                    .collect(),
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -272,7 +753,9 @@ mod tests {
         let params = ExpanderParams::for_n(g.node_count())
             .with_seed(seed)
             .with_walk_len(12);
-        OverlayBuilder::new(params).build(g).expect("pipeline must succeed")
+        OverlayBuilder::new(params)
+            .build(g)
+            .expect("pipeline must succeed")
     }
 
     #[test]
@@ -290,6 +773,7 @@ mod tests {
         );
         assert_eq!(result.messages.dropped_receive, 0);
         assert_eq!(result.messages.dropped_send, 0);
+        assert_eq!(result.messages.dropped_fault, 0);
     }
 
     #[test]
@@ -339,7 +823,9 @@ mod tests {
     fn rejects_empty_and_high_degree_graphs() {
         let params = ExpanderParams::for_n(8);
         assert_eq!(
-            OverlayBuilder::new(params).build(&DiGraph::new(0)).unwrap_err(),
+            OverlayBuilder::new(params)
+                .build(&DiGraph::new(0))
+                .unwrap_err(),
             OverlayError::EmptyGraph
         );
         let star = generators::star(64);
@@ -356,5 +842,164 @@ mod tests {
         let result = build(&generators::cycle(n), 9);
         let simple = result.expander.simplify();
         assert!(analysis::is_spanning_tree(&simple, &result.bfs_parents));
+    }
+
+    #[test]
+    fn clean_fault_report_matches_clean_build() {
+        let n = 64;
+        let g = generators::line(n);
+        let params = ExpanderParams::for_n(n).with_seed(17);
+        let builder = OverlayBuilder::new(params);
+        let clean = builder.build(&g).expect("clean build succeeds");
+        let report = builder
+            .build_under_faults(&g, &FaultPlan::default())
+            .expect("clean report succeeds");
+        assert!(report.is_success());
+        assert_eq!(report.survivor_ids.len(), n);
+        assert!((report.coverage(n) - 1.0).abs() < 1e-12);
+        assert_eq!(report.crashed, 0);
+        assert_eq!(report.joined, 0);
+        let faulty_result = report.result.expect("result present");
+        assert_eq!(faulty_result.rounds, clean.rounds);
+        assert_eq!(faulty_result.tree, clean.tree);
+    }
+
+    #[test]
+    fn crash_wave_is_surfaced_not_erased() {
+        let n = 96;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(23);
+        // A wave of crashes one third into the construction schedule.
+        let crash_round = ExpanderNode::total_rounds(&params) / 3;
+        let mut plan = FaultPlan::default();
+        for i in 0..n / 8 {
+            plan = plan.with_crash(NodeId::from(i * 8), crash_round);
+        }
+        let report = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("input is valid");
+        assert_eq!(report.crashed, n / 8);
+        // Survivors never include the crashed nodes.
+        assert!(report.survivor_ids.iter().all(|v| v.index() % 8 != 0));
+        // Whatever the outcome, the report accounts for every phase that ran and the
+        // books balance: nothing vanished without being recorded.
+        assert!(!report.phases.is_empty());
+        assert!(report.messages.dropped_offline > 0);
+        if let Some(result) = &report.result {
+            assert_eq!(result.tree.node_count(), report.survivor_ids.len());
+        }
+    }
+
+    #[test]
+    fn total_loss_collapses_the_core_to_a_singleton() {
+        // With every message lost, the evolution schedule still runs to completion
+        // (it is round-driven), but no node ever rewires: the final graph is all
+        // self-loops, the survivors fragment into n singletons, and the pipeline
+        // honestly reports a 1-node core instead of claiming a full overlay.
+        let n = 32;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(3);
+        let report = OverlayBuilder::new(params)
+            .build_under_faults(&g, &FaultPlan::default().with_drop_prob(1.0))
+            .expect("input is valid");
+        let fragmented = report
+            .phases
+            .iter()
+            .find(|(name, _)| *name == "survivor-connectivity")
+            .expect("fragmentation must be reported");
+        assert!(matches!(
+            fragmented.1,
+            PhaseOutcome::Fragmented {
+                components: 32,
+                core_size: 1
+            }
+        ));
+        assert_eq!(report.survivor_ids.len(), 1);
+        assert!(report.coverage(n) < 0.05);
+        assert!(report.messages.dropped_fault > 0);
+        // The clean path stays unaffected by fault plans elsewhere.
+        assert!(OverlayBuilder::new(params).build(&g).is_ok());
+    }
+
+    #[test]
+    fn crashes_after_construction_are_counted_once() {
+        let n = 64;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(7);
+        // One crash landing in the BFS phase: shifted() pins it to round 0 of the
+        // binarize phase too, but it must appear exactly once in the report.
+        let crash_round = ExpanderNode::total_rounds(&params) + 3;
+        let plan = FaultPlan::default().with_crash(NodeId::from(5usize), crash_round);
+        let report = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert_eq!(report.crashed, 1);
+        // The node made it into the core (it was alive through construction) but is
+        // dead at the end.
+        assert!(report.survivor_ids.contains(&NodeId::from(5usize)));
+        if !report.alive_at_end.is_empty() {
+            let idx = report
+                .survivor_ids
+                .iter()
+                .position(|v| *v == NodeId::from(5usize))
+                .unwrap();
+            assert!(!report.alive_at_end[idx]);
+        }
+    }
+
+    #[test]
+    fn binarize_window_crash_still_reports_the_survivor_tree() {
+        let n = 64;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(11);
+        // Pick a victim that ends up a non-root leaf of the (deterministic) clean
+        // tree: its death in the binarize window orphans nobody.
+        let clean = OverlayBuilder::new(params).build(&g).expect("clean build");
+        let victim = g
+            .nodes()
+            .find(|&v| v != clean.tree.root() && clean.tree.children(v).is_empty())
+            .expect("a constant-degree tree has leaves");
+        // Crash lands in the binarize phase: the victim's stale self-parent must be
+        // tolerated as a dangle, not miscounted as a second root.
+        let crash_round =
+            ExpanderNode::total_rounds(&params) + BfsNode::total_rounds(params.bfs_rounds) + 1;
+        let plan = FaultPlan::default().with_crash(victim, crash_round);
+        let report = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert!(report.result.is_some(), "phases: {:?}", report.phases);
+        assert!(report.tree_valid_over_alive);
+        assert!(report.is_success());
+        assert_eq!(report.crashed, 1);
+        let alive = report.alive_at_end.iter().filter(|a| **a).count();
+        assert_eq!(alive, n - 1);
+        assert!((report.coverage(n) - (n - 1) as f64 / n as f64).abs() < 1e-12);
+        // The dead leaf is detached: tree metrics measure the alive tree only.
+        let tree = &report.result.as_ref().unwrap().tree;
+        assert!(tree.max_degree() <= 4);
+        assert_eq!(tree.parent(victim), victim);
+    }
+
+    #[test]
+    fn fault_reports_are_deterministic() {
+        let n = 64;
+        let g = generators::line(n);
+        let params = ExpanderParams::for_n(n).with_seed(5);
+        let plan = FaultPlan::default()
+            .with_drop_prob(0.02)
+            .with_delays(0.1, 2);
+        let run = || {
+            let r = OverlayBuilder::new(params)
+                .build_under_faults(&g, &plan)
+                .expect("valid input");
+            (
+                r.is_success(),
+                r.rounds,
+                r.messages,
+                r.survivor_ids.clone(),
+                r.phases.clone(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -65,7 +65,9 @@ mod tests {
         assert!(e.to_string().contains('8'));
         assert!(OverlayError::EmptyGraph.to_string().contains("no nodes"));
         assert!(OverlayError::Disconnected.to_string().contains("connected"));
-        assert!(OverlayError::InvalidParams("x".into()).to_string().contains('x'));
+        assert!(OverlayError::InvalidParams("x".into())
+            .to_string()
+            .contains('x'));
         let p = OverlayError::PhaseIncomplete {
             phase: "bfs",
             budget: 7,

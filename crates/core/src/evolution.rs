@@ -44,9 +44,7 @@ impl EvolutionEngine {
     ///
     /// Propagates the errors of [`benign::make_benign`].
     pub fn from_initial(g: &DiGraph, params: ExpanderParams) -> Result<Self, OverlayError> {
-        params
-            .validate()
-            .map_err(OverlayError::InvalidParams)?;
+        params.validate().map_err(OverlayError::InvalidParams)?;
         let graph = benign::make_benign(g, &params)?;
         Ok(Self::from_benign(graph, params))
     }
@@ -96,10 +94,10 @@ impl EvolutionEngine {
 
         // Every node accepts up to 3Δ/8 arrived tokens and establishes bidirected edges.
         let mut next = UGraph::new(n);
-        for w in 0..n {
-            arrived[w].shuffle(&mut self.rng);
-            arrived[w].truncate(self.params.max_accepts());
-            for &origin in &arrived[w] {
+        for (w, accepted) in arrived.iter_mut().enumerate() {
+            accepted.shuffle(&mut self.rng);
+            accepted.truncate(self.params.max_accepts());
+            for &origin in accepted.iter() {
                 next.add_edge(NodeId::from(w), origin);
             }
         }
@@ -143,7 +141,10 @@ mod tests {
         let mut engine = EvolutionEngine::from_initial(&generators::line(128), p).unwrap();
         for _ in 0..4 {
             let stats = engine.evolve(false);
-            assert!(stats.regular_and_lazy, "evolution must stay regular and lazy");
+            assert!(
+                stats.regular_and_lazy,
+                "evolution must stay regular and lazy"
+            );
         }
         assert_eq!(engine.evolutions_done(), 4);
     }
@@ -152,10 +153,7 @@ mod tests {
     fn conductance_grows_on_the_line() {
         let p = params(256, 2);
         let g = generators::line(256);
-        let start = cuts::conductance_estimate(
-            &benign::make_benign(&g, &p).unwrap(),
-            7,
-        );
+        let start = cuts::conductance_estimate(&benign::make_benign(&g, &p).unwrap(), 7);
         let mut engine = EvolutionEngine::from_initial(&g, p).unwrap();
         let stats = engine.run(6, false);
         let end = stats.last().unwrap().conductance;
@@ -211,10 +209,7 @@ mod tests {
         let p = params(64, 11);
         let run = || {
             let mut e = EvolutionEngine::from_initial(&generators::cycle(64), p).unwrap();
-            e.run(3, false)
-                .last()
-                .unwrap()
-                .conductance
+            e.run(3, false).last().unwrap().conductance
         };
         assert_eq!(run(), run());
     }

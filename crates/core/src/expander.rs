@@ -144,7 +144,14 @@ impl ExpanderNode {
     /// Sends a token one hop along a uniformly random incident slot; self-loop hops stay
     /// local and cost no message.
     fn hop_token(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>, origin: NodeId, steps_left: u32) {
-        let target = self.slots[ctx.rng().gen_range(0..self.slots.len())];
+        // A node that joined mid-evolution has no slots until its first step-0 round;
+        // it holds the token like an all-self-loop slot list would (a lazy step).
+        // Unreachable in clean runs: slot lists are always padded to Δ there.
+        let target = if self.slots.is_empty() {
+            self.id
+        } else {
+            self.slots[ctx.rng().gen_range(0..self.slots.len())]
+        };
         if target == self.id {
             // Lazy step: the token stays here for one round.
             if steps_left == 0 {
@@ -170,7 +177,10 @@ impl ExpanderNode {
     fn forward_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
         let buffered = std::mem::take(&mut self.forward_buffer);
         for (origin, steps_left) in buffered {
-            debug_assert!(steps_left > 0, "tokens with no hops left never enter the buffer");
+            debug_assert!(
+                steps_left > 0,
+                "tokens with no hops left never enter the buffer"
+            );
             self.hop_token(ctx, origin, steps_left - 1);
         }
     }
@@ -292,6 +302,7 @@ mod tests {
             },
             seed: params.seed,
             local_edges: None,
+            faults: Default::default(),
         };
         let mut sim = Simulator::new(nodes, config);
         let outcome = sim.run(ExpanderNode::total_rounds(&params) + 2);
@@ -341,11 +352,18 @@ mod tests {
         let params = test_params(n);
         let nodes = run_expander(&generators::line(n), params);
         for node in &nodes {
-            assert_eq!(node.slots().len(), params.delta, "final graph must be regular");
+            assert_eq!(
+                node.slots().len(),
+                params.delta,
+                "final graph must be regular"
+            );
         }
         let g = slots_to_graph(&nodes);
         let simple = g.simplify();
-        assert!(analysis::is_connected(&simple), "expander must be connected");
+        assert!(
+            analysis::is_connected(&simple),
+            "expander must be connected"
+        );
         let diam = analysis::diameter(&simple).expect("connected");
         // O(log n) with a generous constant.
         assert!(
@@ -392,6 +410,7 @@ mod tests {
             },
             seed: 5,
             local_edges: None,
+            faults: Default::default(),
         };
         let mut sim = Simulator::new(nodes, config);
         sim.run(ExpanderNode::total_rounds(&params) + 2);

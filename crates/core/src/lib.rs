@@ -47,7 +47,9 @@ pub mod expander;
 mod params;
 pub mod wellformed;
 
-pub use builder::{MessageStats, OverlayBuilder, OverlayResult, RoundBreakdown};
+pub use builder::{
+    BuildReport, MessageStats, OverlayBuilder, OverlayResult, PhaseOutcome, RoundBreakdown,
+};
 pub use error::OverlayError;
 pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};

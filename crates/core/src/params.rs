@@ -98,8 +98,11 @@ impl ExpanderParams {
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.delta == 0 || self.delta % 8 != 0 {
-            return Err(format!("delta must be a positive multiple of 8, got {}", self.delta));
+        if self.delta == 0 || !self.delta.is_multiple_of(8) {
+            return Err(format!(
+                "delta must be a positive multiple of 8, got {}",
+                self.delta
+            ));
         }
         if self.lambda == 0 {
             return Err("lambda must be positive".to_string());

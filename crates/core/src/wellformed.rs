@@ -31,22 +31,47 @@ impl WellFormedTree {
     ///
     /// Panics if there is not exactly one root.
     pub fn from_parents(parent: Vec<NodeId>) -> Self {
+        let all_alive = vec![true; parent.len()];
+        Self::from_parents_over(parent, &all_alive)
+            .expect("a well-formed tree has exactly one root")
+    }
+
+    /// Like [`WellFormedTree::from_parents`], but fallible, and only `alive` nodes may claim
+    /// the root slot: a crashed node frozen with its initial self-parent is tolerated
+    /// as a detached dangle instead of being miscounted as a second root. Returns
+    /// `None` unless exactly one alive root exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from `parent.len()`.
+    pub fn from_parents_over(mut parent: Vec<NodeId>, alive: &[bool]) -> Option<Self> {
         let n = parent.len();
-        let roots: Vec<usize> = (0..n).filter(|&v| parent[v].index() == v).collect();
-        assert_eq!(roots.len(), 1, "a well-formed tree has exactly one root");
+        assert_eq!(alive.len(), n, "one liveness flag per node");
+        // Detach dead nodes entirely (self-parent, no edges) so height() and
+        // max_degree() measure the alive tree, not dangling dead subtrees.
+        for (v, p) in parent.iter_mut().enumerate() {
+            if !alive[v] {
+                *p = NodeId::from(v);
+            }
+        }
+        let roots: Vec<usize> = (0..n)
+            .filter(|&v| parent[v].index() == v && alive[v])
+            .collect();
+        if roots.len() != 1 {
+            return None;
+        }
         let root = NodeId::from(roots[0]);
         let mut children = vec![Vec::new(); n];
-        for v in 0..n {
-            let p = parent[v];
+        for (v, &p) in parent.iter().enumerate() {
             if p.index() != v {
                 children[p.index()].push(NodeId::from(v));
             }
         }
-        WellFormedTree {
+        Some(WellFormedTree {
             root,
             parent,
             children,
-        }
+        })
     }
 
     /// The tree's root.
@@ -114,6 +139,38 @@ impl WellFormedTree {
         let reachable = self.depths().iter().filter(|d| d.is_some()).count();
         let edges: usize = self.children.iter().map(Vec::len).sum();
         reachable == n && edges == n - 1
+    }
+
+    /// Checks validity restricted to the `alive` nodes: the root is alive, and every
+    /// alive node reaches the root through a parent chain of alive nodes only. Used by
+    /// fault-injected pipelines, where crashed nodes are allowed to dangle but the
+    /// survivors must still form one rooted tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the node count.
+    pub fn is_valid_over(&self, alive: &[bool]) -> bool {
+        let n = self.parent.len();
+        assert_eq!(alive.len(), n, "one liveness flag per node");
+        if !alive[self.root.index()] {
+            return false;
+        }
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            // Walk to the root; bounded by n steps so cycles terminate.
+            let mut cur = NodeId::from(v);
+            let mut steps = 0;
+            while cur != self.root {
+                if !alive[cur.index()] || steps > n {
+                    return false;
+                }
+                cur = self.parent[cur.index()];
+                steps += 1;
+            }
+        }
+        true
     }
 
     /// The tree as an undirected graph (useful for diameter measurements).
@@ -201,7 +258,14 @@ impl Protocol for BinarizeNode {
             };
             let left = self.bfs_children.get(2 * j + 1).copied();
             let right = self.bfs_children.get(2 * j + 2).copied();
-            ctx.send_global(c, RelinkMsg { parent, left, right });
+            ctx.send_global(
+                c,
+                RelinkMsg {
+                    parent,
+                    left,
+                    right,
+                },
+            );
         }
         if k > 0 {
             self.new_children.push(self.bfs_children[0]);
@@ -262,7 +326,10 @@ mod tests {
         let parents: Vec<NodeId> = vec![0.into(), 0.into(), 0.into(), 1.into()];
         let t = WellFormedTree::from_parents(parents);
         assert_eq!(t.root(), NodeId::from(0usize));
-        assert_eq!(t.children(0.into()), &[NodeId::from(1usize), NodeId::from(2usize)]);
+        assert_eq!(
+            t.children(0.into()),
+            &[NodeId::from(1usize), NodeId::from(2usize)]
+        );
         assert_eq!(t.children(1.into()), &[NodeId::from(3usize)]);
         assert_eq!(t.height(), 2);
         // Node 0 has two children and no parent edge; node 1 has one child plus its

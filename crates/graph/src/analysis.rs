@@ -185,8 +185,7 @@ pub fn is_spanning_tree(g: &UGraph, parent: &[NodeId]) -> bool {
         return false;
     }
     // Every parent edge must exist in g.
-    for v in 0..n {
-        let p = parent[v];
+    for (v, &p) in parent.iter().enumerate() {
         if p.index() == v {
             continue;
         }

@@ -42,7 +42,10 @@ pub fn set_conductance(g: &UGraph, set: &BTreeSet<NodeId>) -> Option<f64> {
 /// Panics if the graph has more than 20 nodes.
 pub fn exact_conductance(g: &UGraph) -> f64 {
     let n = g.node_count();
-    assert!(n <= 20, "exact conductance is exponential; use conductance_estimate");
+    assert!(
+        n <= 20,
+        "exact conductance is exponential; use conductance_estimate"
+    );
     if n <= 1 {
         return 0.0;
     }
@@ -97,7 +100,10 @@ pub fn conductance_estimate(g: &UGraph, seed: u64) -> f64 {
     }
 
     // Sweep over the identifier order.
-    best = best.min(sweep_order(g, &(0..n).map(NodeId::from).collect::<Vec<_>>()));
+    best = best.min(sweep_order(
+        g,
+        &(0..n).map(NodeId::from).collect::<Vec<_>>(),
+    ));
 
     // Sweep over the spectral embedding order.
     let embedding = spectral::fiedler_embedding(g, 200, seed);
@@ -164,12 +170,6 @@ pub fn min_cut(g: &UGraph) -> usize {
             if v.index() != u {
                 w[u][v.index()] += 1;
             }
-        }
-    }
-    // Each undirected edge was counted from both endpoints.
-    for u in 0..n {
-        for v in 0..n {
-            w[u][v] /= if u == v { 1 } else { 1 };
         }
     }
     // Note: neighbors() stores a non-loop edge once at each endpoint, so w[u][v] above

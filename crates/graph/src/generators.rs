@@ -215,7 +215,10 @@ pub fn connected_random(n: usize, p: f64, seed: u64) -> DiGraph {
 ///
 /// Panics if `d` is odd, `d == 0`, or `n <= d`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> DiGraph {
-    assert!(d > 0 && d % 2 == 0, "degree must be positive and even");
+    assert!(
+        d > 0 && d.is_multiple_of(2),
+        "degree must be positive and even"
+    );
     assert!(n > d, "need more nodes than the degree");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = DiGraph::new(n);
@@ -299,11 +302,7 @@ pub fn chained_cycles(blocks: usize, block_len: usize) -> DiGraph {
         for i in 0..block_len {
             let u = base + i;
             let v = base + (i + 1) % block_len;
-            if i + 1 == block_len {
-                g.add_edge(u.into(), v.into());
-            } else {
-                g.add_edge(u.into(), v.into());
-            }
+            g.add_edge(u.into(), v.into());
         }
     }
     g

@@ -32,14 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod ids;
-pub mod graph;
-pub mod ugraph;
-pub mod generators;
 pub mod analysis;
 pub mod cuts;
-pub mod spectral;
+pub mod generators;
+pub mod graph;
+mod ids;
 pub mod sequential;
+pub mod spectral;
+pub mod ugraph;
 
 pub use graph::DiGraph;
 pub use ids::NodeId;

@@ -22,7 +22,9 @@ impl BiconnectivityInfo {
     /// Returns `true` if the whole graph is biconnected: it is connected, has at least
     /// three nodes (or is a single edge), and has no cut vertices.
     pub fn is_biconnected(&self, g: &UGraph) -> bool {
-        crate::analysis::is_connected(g) && self.cut_vertices.is_empty() && self.components.len() <= 1
+        crate::analysis::is_connected(g)
+            && self.cut_vertices.is_empty()
+            && self.components.len() <= 1
     }
 
     /// The biconnected component index of every edge (smaller endpoint first), if any.
@@ -111,17 +113,16 @@ pub fn biconnected_components(g: &UGraph) -> BiconnectivityInfo {
                         }
                     }
                     if low[v] > disc[p] {
-                        info.bridges.insert(normalize(NodeId::from(p), NodeId::from(v)));
+                        info.bridges
+                            .insert(normalize(NodeId::from(p), NodeId::from(v)));
                     }
                 }
             }
         }
         // Any leftover edges on the stack form one final component of this DFS tree.
         if !edge_stack.is_empty() {
-            let component: BTreeSet<(NodeId, NodeId)> = edge_stack
-                .drain(..)
-                .map(|(a, b)| normalize(a, b))
-                .collect();
+            let component: BTreeSet<(NodeId, NodeId)> =
+                edge_stack.drain(..).map(|(a, b)| normalize(a, b)).collect();
             info.components.push(component);
         }
     }
@@ -204,8 +205,14 @@ mod tests {
             vec![NodeId::from(2usize)]
         );
         assert_eq!(info.bridges.len(), 1);
-        assert_eq!(info.component_of_edge(0.into(), 1.into()), info.component_of_edge(1.into(), 2.into()));
-        assert_ne!(info.component_of_edge(0.into(), 1.into()), info.component_of_edge(2.into(), 3.into()));
+        assert_eq!(
+            info.component_of_edge(0.into(), 1.into()),
+            info.component_of_edge(1.into(), 2.into())
+        );
+        assert_ne!(
+            info.component_of_edge(0.into(), 1.into()),
+            info.component_of_edge(2.into(), 3.into())
+        );
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! (articulation points, bridges, biconnected components), spanning trees, and maximal
 //! independent sets.
 
-mod union_find;
 mod biconnectivity;
-mod spanning_tree;
 mod mis;
+mod spanning_tree;
+mod union_find;
 
 pub use biconnectivity::{biconnected_components, BiconnectivityInfo};
 pub use mis::{greedy_mis, is_maximal_independent_set};

@@ -38,10 +38,7 @@ pub fn bfs_tree(g: &UGraph, root: NodeId) -> (Vec<NodeId>, Vec<NodeId>) {
             }
         }
     }
-    let unreachable = (0..n)
-        .filter(|&v| !visited[v])
-        .map(NodeId::from)
-        .collect();
+    let unreachable = (0..n).filter(|&v| !visited[v]).map(NodeId::from).collect();
     (parent, unreachable)
 }
 

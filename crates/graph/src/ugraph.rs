@@ -95,10 +95,7 @@ impl UGraph {
 
     /// Number of self-loop slots at `v`.
     pub fn self_loops(&self, v: NodeId) -> usize {
-        self.adj[v.index()]
-            .iter()
-            .filter(|&&w| w == v)
-            .count()
+        self.adj[v.index()].iter().filter(|&&w| w == v).count()
     }
 
     /// Maximum degree over all nodes.

@@ -153,7 +153,7 @@ impl DistributedBiconnectivity {
 
         // Step 4: connected components of G'' via Theorem 1.2.
         let comp_config = ComponentsConfig {
-            seed: self.seed ^ 0xB1C0_77,
+            seed: self.seed ^ 0x00B1_C077,
             walk_len: 12,
             ..ComponentsConfig::default()
         };
@@ -244,8 +244,7 @@ fn compute_labels(g: &UGraph, parent: &[NodeId]) -> TreeLabels {
         .map(NodeId::from)
         .expect("spanning tree has a root");
     let mut children = vec![Vec::new(); n];
-    for v in 0..n {
-        let p = parent[v];
+    for (v, &p) in parent.iter().enumerate() {
         if p.index() != v {
             children[p.index()].push(NodeId::from(v));
         }

@@ -155,7 +155,7 @@ fn component_params(local: &DiGraph, config: ComponentsConfig) -> ExpanderParams
     let degree = local.to_undirected().max_degree().max(1);
     let lambda = 2 * log_m;
     // Round Δ up to a multiple of 8 satisfying the laziness constraint 2·d·Λ ≤ Δ.
-    let delta = ((2 * degree * lambda).max(16 * log_m) + 7) / 8 * 8;
+    let delta = (2 * degree * lambda).max(16 * log_m).div_ceil(8) * 8;
     let mut params = ExpanderParams::for_n(m);
     params.delta = delta;
     params.lambda = lambda;
@@ -178,7 +178,9 @@ mod tests {
             walk_len: 12,
             ..ComponentsConfig::default()
         };
-        HybridComponents::new(config).run(g).expect("pipeline must succeed")
+        HybridComponents::new(config)
+            .run(g)
+            .expect("pipeline must succeed")
     }
 
     #[test]
@@ -244,7 +246,11 @@ mod tests {
 
     #[test]
     fn rounds_scale_with_largest_component() {
-        let small = run(&generators::disjoint_union(&vec![generators::line(16); 4]), 5).rounds;
+        let small = run(
+            &generators::disjoint_union(&vec![generators::line(16); 4]),
+            5,
+        )
+        .rounds;
         let large = run(&generators::line(256), 5).rounds;
         assert!(
             large > small,

@@ -26,11 +26,11 @@
 pub mod biconnectivity;
 pub mod components;
 pub mod mis;
-pub mod sparsify;
 pub mod spanning_tree;
+pub mod sparsify;
 
 pub use biconnectivity::{BiconnectivityResult, DistributedBiconnectivity};
 pub use components::{ComponentsConfig, ComponentsResult, HybridComponents};
 pub use mis::{HybridMis, HybridMisResult};
-pub use sparsify::{sparsify, SparsifyResult};
 pub use spanning_tree::{HybridSpanningTree, SpanningTreeResult};
+pub use sparsify::{sparsify, SparsifyResult};

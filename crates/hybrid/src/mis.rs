@@ -341,10 +341,8 @@ fn best_metivier_execution(
         while !undecided.is_empty() {
             rounds += 1;
             // Every undecided node draws a random value; local minima join.
-            let values: std::collections::BTreeMap<usize, u64> = undecided
-                .iter()
-                .map(|&v| (v, rng.gen::<u64>()))
-                .collect();
+            let values: std::collections::BTreeMap<usize, u64> =
+                undecided.iter().map(|&v| (v, rng.gen::<u64>())).collect();
             let mut joined = Vec::new();
             for &v in &undecided {
                 let mine = (values[&v], v);

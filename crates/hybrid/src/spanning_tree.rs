@@ -103,10 +103,10 @@ impl TracedEvolution {
 
         let mut next = UGraph::new(n);
         let mut level = TraceLevel::default();
-        for w in 0..n {
-            arrived[w].shuffle(&mut self.rng);
-            arrived[w].truncate(self.params.max_accepts());
-            for (origin, path) in arrived[w].drain(..) {
+        for (w, accepted) in arrived.iter_mut().enumerate() {
+            accepted.shuffle(&mut self.rng);
+            accepted.truncate(self.params.max_accepts());
+            for (origin, path) in accepted.drain(..) {
                 next.add_edge(NodeId::from(w), origin);
                 if origin.index() != w {
                     level
@@ -186,10 +186,7 @@ impl HybridSpanningTree {
         let h = &sparsified.reduced;
 
         // Step 2: traced evolutions on the benign version of H.
-        let h_digraph = DiGraph::from_edges(
-            n,
-            h.edges().into_iter().filter(|(a, b)| a != b),
-        );
+        let h_digraph = DiGraph::from_edges(n, h.edges().into_iter().filter(|(a, b)| a != b));
         let params = tree_params(h, self.seed, self.walk_len);
         let benign_graph = benign::make_benign(&h_digraph, &params)?;
         let mut engine = TracedEvolution::from_benign(benign_graph, params);
@@ -274,7 +271,7 @@ fn tree_params(h: &UGraph, seed: u64, walk_len: usize) -> ExpanderParams {
     let log_n = log2_ceil(n).max(2);
     let degree = h.max_degree().max(1);
     let lambda = 2 * log_n;
-    let delta = ((2 * degree * lambda).max(16 * log_n) + 7) / 8 * 8;
+    let delta = (2 * degree * lambda).max(16 * log_n).div_ceil(8) * 8;
     let mut params = ExpanderParams::for_n(n);
     params.delta = delta;
     params.lambda = lambda;
@@ -291,10 +288,7 @@ mod tests {
     use overlay_graph::generators;
 
     fn check(g: &DiGraph, seed: u64) -> SpanningTreeResult {
-        let algo = HybridSpanningTree {
-            seed,
-            walk_len: 12,
-        };
+        let algo = HybridSpanningTree { seed, walk_len: 12 };
         let result = algo.run(g).expect("spanning tree must succeed");
         assert!(
             analysis::is_spanning_tree(&g.to_undirected(), &result.parent),
@@ -337,10 +331,11 @@ mod tests {
         let result = HybridSpanningTree::default().run(&DiGraph::new(1)).unwrap();
         assert_eq!(result.parent, vec![NodeId::from(0usize)]);
         assert!(HybridSpanningTree::default().run(&DiGraph::new(0)).is_err());
-        let disconnected =
-            generators::disjoint_union(&[generators::line(4), generators::line(4)]);
+        let disconnected = generators::disjoint_union(&[generators::line(4), generators::line(4)]);
         assert_eq!(
-            HybridSpanningTree::default().run(&disconnected).unwrap_err(),
+            HybridSpanningTree::default()
+                .run(&disconnected)
+                .unwrap_err(),
             OverlayError::Disconnected
         );
     }

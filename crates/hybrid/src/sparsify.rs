@@ -95,8 +95,8 @@ pub fn sparsify(g: &DiGraph, seed: u64, degree_threshold_factor: usize) -> Spars
     let radius = 2 * log_n + 1;
     for _ in 0..radius {
         let mut new_offers: Vec<Vec<(NodeId, f64, NodeId)>> = vec![Vec::new(); n];
-        for v in 0..n {
-            for &(src, val, _) in &offers[v] {
+        for (v, offer_list) in offers.iter().enumerate() {
+            for &(src, val, _) in offer_list {
                 for &w in und.neighbors(NodeId::from(v)) {
                     new_offers[w.index()].push((src, val - 1.0, NodeId::from(v)));
                 }
@@ -131,6 +131,7 @@ pub fn sparsify(g: &DiGraph, seed: u64, degree_threshold_factor: usize) -> Spars
     // Step 1c: spanner edges. Every node adds an edge to the predecessor of every offer
     // within 1 of its maximum; low-degree nodes add all their edges.
     let mut spanner = DiGraph::new(n);
+    #[allow(clippy::needless_range_loop)] // `v` indexes `offers`, `und` and `spanner` alike
     for v in 0..n {
         let deg = und.degree(NodeId::from(v));
         if deg < threshold {
@@ -171,10 +172,9 @@ pub fn sparsify(g: &DiGraph, seed: u64, degree_threshold_factor: usize) -> Spars
         }
         false
     };
-    for v in 0..n {
-        incoming[v].sort_unstable();
-        incoming[v].dedup();
-        let inc = &incoming[v];
+    for (v, inc) in incoming.iter_mut().enumerate() {
+        inc.sort_unstable();
+        inc.dedup();
         if inc.is_empty() {
             continue;
         }

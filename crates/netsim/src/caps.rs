@@ -5,10 +5,11 @@
 /// All limits are in *messages*; every message is assumed to be `O(log n)` bits (a
 /// constant number of identifiers plus constant bookkeeping), which the protocols in
 /// this workspace respect by construction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CapacityModel {
     /// No limits. Used by reference protocols (e.g. pointer jumping) to demonstrate
     /// what unbounded communication would cost.
+    #[default]
     Unbounded,
     /// The NCC0 model: every node may send at most `per_round` messages and receive at
     /// most `per_round` messages per round. Excess received messages are dropped (a
@@ -65,12 +66,6 @@ impl CapacityModel {
             CapacityModel::Hybrid { local_per_edge, .. } => Some(*local_per_edge),
             _ => None,
         }
-    }
-}
-
-impl Default for CapacityModel {
-    fn default() -> Self {
-        CapacityModel::Unbounded
     }
 }
 

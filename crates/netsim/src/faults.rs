@@ -1,0 +1,698 @@
+//! Deterministic fault injection: message loss, delivery delays, crashes, delayed
+//! joins, and network partitions.
+//!
+//! A [`FaultPlan`] declares *what* goes wrong and *when*; the [`FaultRouter`] sits
+//! between the send side of [`crate::Ctx`] and inbox delivery inside the
+//! [`crate::Simulator`] and executes the plan. Every decision — which message is
+//! lost, how long a delay lasts — is drawn from an RNG seeded from the simulation
+//! seed, so a run with a fault plan is exactly as reproducible as a clean run, and
+//! every interference is recorded in [`crate::RoundMetrics`] so that model-level
+//! message counts stay honest.
+//!
+//! Faults compose: a message must survive the partition check, the random-loss
+//! check, the recipient-liveness check, and (possibly) a delay before it is
+//! delivered. Node lifecycle faults are crash-stop: a crashed node stops executing
+//! and never recovers; a joining node is dormant (sends nothing, receives nothing)
+//! until its join round, at which point its `on_start` callback runs with whatever
+//! initial knowledge its protocol state was constructed with.
+
+use crate::metrics::RoundMetrics;
+use crate::protocol::Envelope;
+use overlay_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
+
+/// A random delivery-delay model: with probability `prob` a delivered message is
+/// held back by 1 to `max_rounds` extra rounds (uniformly chosen).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayModel {
+    /// Probability that a message is delayed at all.
+    pub prob: f64,
+    /// Maximum number of extra rounds a delayed message is held back (≥ 1).
+    pub max_rounds: usize,
+}
+
+/// A scheduled crash-stop failure: `node` executes rounds `< round` and is silent
+/// from `round` on. Messages addressed to it at or after `round` are lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The round at the start of which the node stops.
+    pub round: usize,
+    /// The crashing node.
+    pub node: NodeId,
+}
+
+/// A scheduled join: `node` is dormant (no callbacks, all messages to it lost)
+/// before `round`; its `on_start` runs at the beginning of `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinEvent {
+    /// The round at the start of which the node becomes active.
+    pub round: usize,
+    /// The joining node.
+    pub node: NodeId,
+}
+
+/// A temporary split of the node set: while `from_round <= round < heal_round`,
+/// messages between `side_a` and its complement are dropped in both directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// First round (send time) in which the partition is in effect.
+    pub from_round: usize,
+    /// First round in which traffic flows again.
+    pub heal_round: usize,
+    /// The nodes on one side of the cut; everyone else is on the other side.
+    pub side_a: Vec<NodeId>,
+}
+
+/// A declarative, deterministic schedule of environmental faults.
+///
+/// The default plan is clean (no faults); [`Simulator`](crate::Simulator) runs with
+/// a clean plan behave exactly like fault-free simulations. Plans are composed with
+/// the builder-style `with_*` methods:
+///
+/// ```
+/// use overlay_netsim::FaultPlan;
+/// use overlay_graph::NodeId;
+///
+/// let plan = FaultPlan::default()
+///     .with_drop_prob(0.05)
+///     .with_delays(0.2, 3)
+///     .with_crash(NodeId::from(3usize), 10)
+///     .with_join(NodeId::from(7usize), 4)
+///     .with_partition(vec![NodeId::from(0usize), NodeId::from(1usize)], 5, 9);
+/// assert!(!plan.is_clean());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Independent per-message loss probability (applied to messages that survive
+    /// partitions and liveness checks).
+    pub drop_prob: f64,
+    /// Optional random delivery delays.
+    pub delay: Option<DelayModel>,
+    /// Scheduled crash-stop failures.
+    pub crashes: Vec<CrashEvent>,
+    /// Scheduled joins (nodes dormant until their join round).
+    pub joins: Vec<JoinEvent>,
+    /// Temporary partitions of the node set.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// `true` if the plan injects nothing; the simulator behaves identically to a
+    /// fault-free run either way (the router is exact, not approximate), so this is
+    /// purely informational.
+    pub fn is_clean(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.delay.is_none()
+            && self.crashes.is_empty()
+            && self.joins.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Sets the independent per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability out of range: {p}"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Delays each message with probability `prob` by 1..=`max_rounds` extra rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]` or `max_rounds == 0`.
+    pub fn with_delays(mut self, prob: f64, max_rounds: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "delay probability out of range: {prob}"
+        );
+        assert!(max_rounds >= 1, "a delay must last at least one round");
+        self.delay = Some(DelayModel { prob, max_rounds });
+        self
+    }
+
+    /// Crashes `node` at the start of `round`.
+    pub fn with_crash(mut self, node: NodeId, round: usize) -> Self {
+        self.crashes.push(CrashEvent { round, node });
+        self
+    }
+
+    /// Keeps `node` dormant until the start of `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` (a node joining at round 0 is simply present).
+    pub fn with_join(mut self, node: NodeId, round: usize) -> Self {
+        assert!(
+            round >= 1,
+            "a join at round 0 is a normal start; schedule round >= 1"
+        );
+        self.joins.push(JoinEvent { round, node });
+        self
+    }
+
+    /// Partitions `side_a` from the rest during rounds `from_round..heal_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn with_partition(
+        mut self,
+        side_a: Vec<NodeId>,
+        from_round: usize,
+        heal_round: usize,
+    ) -> Self {
+        assert!(
+            from_round < heal_round,
+            "partition window must be non-empty"
+        );
+        self.partitions.push(Partition {
+            from_round,
+            heal_round,
+            side_a,
+        });
+        self
+    }
+
+    /// Rebases the plan onto a timeline starting `offset` rounds later, for running
+    /// a multi-phase pipeline where each phase is its own simulation.
+    ///
+    /// Crashes that already happened stay in effect (they become crashes at round
+    /// 0); joins that already happened disappear (the node is simply active);
+    /// partitions are clipped to the remaining window and dropped once healed.
+    /// Loss and delay models persist unchanged.
+    pub fn shifted(&self, offset: usize) -> FaultPlan {
+        FaultPlan {
+            drop_prob: self.drop_prob,
+            delay: self.delay,
+            crashes: self
+                .crashes
+                .iter()
+                .map(|c| CrashEvent {
+                    round: c.round.saturating_sub(offset),
+                    node: c.node,
+                })
+                .collect(),
+            joins: self
+                .joins
+                .iter()
+                .filter(|j| j.round > offset)
+                .map(|j| JoinEvent {
+                    round: j.round - offset,
+                    node: j.node,
+                })
+                .collect(),
+            partitions: self
+                .partitions
+                .iter()
+                .filter(|p| p.heal_round > offset)
+                .map(|p| Partition {
+                    from_round: p.from_round.saturating_sub(offset),
+                    heal_round: p.heal_round - offset,
+                    side_a: p.side_a.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Checks that the probabilities and delay bounds are in range (fields are
+    /// public, so plans need not come from the `with_*` builders), that every
+    /// referenced node exists among `n` nodes, and that no node both joins late and
+    /// crashes before its join round.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.drop_prob) {
+            return Err(format!("drop probability out of range: {}", self.drop_prob));
+        }
+        if let Some(delay) = &self.delay {
+            if !(0.0..=1.0).contains(&delay.prob) {
+                return Err(format!("delay probability out of range: {}", delay.prob));
+            }
+            if delay.max_rounds == 0 {
+                return Err("a delay must last at least one round".into());
+            }
+        }
+        for c in &self.crashes {
+            if c.node.index() >= n {
+                return Err(format!(
+                    "crash event references node {} >= n = {n}",
+                    c.node.index()
+                ));
+            }
+        }
+        for j in &self.joins {
+            if j.node.index() >= n {
+                return Err(format!(
+                    "join event references node {} >= n = {n}",
+                    j.node.index()
+                ));
+            }
+            // Compare against the *effective* crash round (the minimum across
+            // duplicate events), which is what the router enforces.
+            let crash = self
+                .crashes
+                .iter()
+                .filter(|c| c.node == j.node)
+                .map(|c| c.round)
+                .min();
+            if let Some(round) = crash {
+                if round <= j.round {
+                    return Err(format!(
+                        "node {} crashes at round {round} before joining at round {}",
+                        j.node.index(),
+                        j.round
+                    ));
+                }
+            }
+        }
+        for p in &self.partitions {
+            for &v in &p.side_a {
+                if v.index() >= n {
+                    return Err(format!(
+                        "partition references node {} >= n = {n}",
+                        v.index()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why the router refused to deliver a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Lost to the independent per-message loss probability.
+    Fault,
+    /// Blocked by an active partition between sender and recipient.
+    Partition,
+    /// The recipient was crashed or not yet joined at delivery time.
+    Offline,
+}
+
+/// The router's verdict for one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver next round, as normal.
+    Deliver,
+    /// Deliver at the returned (absolute) round instead.
+    Delay(usize),
+    /// Do not deliver.
+    Drop(DropReason),
+}
+
+/// Executes a [`FaultPlan`] inside the simulator: decides the fate of every sent
+/// message and tracks node liveness.
+///
+/// The router's RNG is seeded from the simulation seed, so fault decisions are part
+/// of the deterministic replay.
+#[derive(Clone, Debug)]
+pub struct FaultRouter<M> {
+    /// Per node: the round it crashes at, if any.
+    crash_round: Vec<Option<usize>>,
+    /// Per node: the round it becomes active (0 = present from the start).
+    join_round: Vec<usize>,
+    partitions: Vec<(usize, usize, HashSet<NodeId>)>,
+    drop_prob: f64,
+    delay: Option<DelayModel>,
+    rng: StdRng,
+    /// Messages in flight beyond the next round, keyed by (absolute) delivery round.
+    delayed: BTreeMap<usize, Vec<(NodeId, Envelope<M>)>>,
+}
+
+impl<M> FaultRouter<M> {
+    /// Builds the router for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn new(plan: &FaultPlan, n: usize, seed: u64) -> Self {
+        plan.validate(n).expect("invalid fault plan");
+        let mut crash_round = vec![None; n];
+        for c in &plan.crashes {
+            let slot = &mut crash_round[c.node.index()];
+            *slot = Some(slot.map_or(c.round, |r: usize| r.min(c.round)));
+        }
+        let mut join_round = vec![0usize; n];
+        for j in &plan.joins {
+            join_round[j.node.index()] = join_round[j.node.index()].max(j.round);
+        }
+        FaultRouter {
+            crash_round,
+            join_round,
+            partitions: plan
+                .partitions
+                .iter()
+                .map(|p| {
+                    (
+                        p.from_round,
+                        p.heal_round,
+                        p.side_a.iter().copied().collect(),
+                    )
+                })
+                .collect(),
+            drop_prob: plan.drop_prob,
+            delay: plan.delay,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(0xFA17)),
+            delayed: BTreeMap::new(),
+        }
+    }
+
+    /// `true` if `node` executes callbacks in `round` (joined and not yet crashed).
+    pub fn is_active(&self, node: usize, round: usize) -> bool {
+        self.join_round[node] <= round && self.crash_round[node].is_none_or(|c| round < c)
+    }
+
+    /// `true` if `node` joins exactly at `round` (its `on_start` must run now).
+    pub fn joins_at(&self, node: usize, round: usize) -> bool {
+        self.join_round[node] == round && round > 0
+    }
+
+    /// `true` if `node` is crashed at `round`.
+    pub fn is_crashed(&self, node: usize, round: usize) -> bool {
+        self.crash_round[node].is_some_and(|c| round >= c)
+    }
+
+    /// The round `node` becomes active.
+    pub fn join_round(&self, node: usize) -> usize {
+        self.join_round[node]
+    }
+
+    /// Number of nodes that crash at exactly `round` (for metrics).
+    pub fn crashes_at(&self, round: usize) -> usize {
+        self.crash_round
+            .iter()
+            .filter(|c| **c == Some(round))
+            .count()
+    }
+
+    /// Number of nodes that join at exactly `round` (for metrics).
+    pub fn join_count_at(&self, round: usize) -> usize {
+        if round == 0 {
+            return 0;
+        }
+        self.join_round.iter().filter(|&&j| j == round).count()
+    }
+
+    fn cut_by_partition(&self, from: NodeId, to: NodeId, send_round: usize) -> bool {
+        self.partitions.iter().any(|(start, heal, side_a)| {
+            (*start..*heal).contains(&send_round) && side_a.contains(&from) != side_a.contains(&to)
+        })
+    }
+
+    /// Decides the fate of a message sent by `from` to `to` in `send_round` (normal
+    /// delivery would be at `send_round + 1`).
+    pub fn route(&mut self, from: NodeId, to: NodeId, send_round: usize) -> Route {
+        if self.cut_by_partition(from, to, send_round) {
+            return Route::Drop(DropReason::Partition);
+        }
+        if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
+            return Route::Drop(DropReason::Fault);
+        }
+        let mut deliver_round = send_round + 1;
+        if let Some(delay) = self.delay {
+            if delay.prob > 0.0 && self.rng.gen_bool(delay.prob) {
+                deliver_round += self.rng.gen_range(1..delay.max_rounds + 1);
+            }
+        }
+        // A joiner's first round runs `on_start`, not `on_round`, so a message
+        // landing exactly on the join round would never reach the protocol;
+        // treat it as offline too, so it is dropped *and counted*.
+        if !self.is_active(to.index(), deliver_round) || self.joins_at(to.index(), deliver_round) {
+            return Route::Drop(DropReason::Offline);
+        }
+        if deliver_round == send_round + 1 {
+            Route::Deliver
+        } else {
+            Route::Delay(deliver_round)
+        }
+    }
+
+    /// Buffers a delayed message for its delivery round.
+    pub fn buffer(&mut self, deliver_round: usize, to: NodeId, env: Envelope<M>) {
+        self.delayed
+            .entry(deliver_round)
+            .or_default()
+            .push((to, env));
+    }
+
+    /// Removes and returns the messages scheduled for delivery at `round`.
+    pub fn take_due(&mut self, round: usize) -> Vec<(NodeId, Envelope<M>)> {
+        self.delayed.remove(&round).unwrap_or_default()
+    }
+
+    /// `true` if some delayed message is still in flight.
+    pub fn has_in_flight(&self) -> bool {
+        !self.delayed.is_empty()
+    }
+
+    /// Records this round's lifecycle events into `metrics`.
+    pub fn record_lifecycle(&self, round: usize, metrics: &mut RoundMetrics) {
+        metrics.crashed = self.crashes_at(round);
+        metrics.joined = self.join_count_at(round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::from(i)
+    }
+
+    #[test]
+    fn clean_plan_is_clean() {
+        assert!(FaultPlan::default().is_clean());
+        assert!(!FaultPlan::default().with_drop_prob(0.1).is_clean());
+        assert!(!FaultPlan::default().with_crash(id(0), 3).is_clean());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_nodes() {
+        assert!(FaultPlan::default()
+            .with_crash(id(9), 1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::default()
+            .with_join(id(9), 1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::default()
+            .with_partition(vec![id(9)], 0, 5)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::default()
+            .with_crash(id(3), 1)
+            .validate(4)
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_probabilities() {
+        let plan = FaultPlan {
+            drop_prob: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(4).is_err());
+        let plan = FaultPlan {
+            delay: Some(DelayModel {
+                prob: 1.0,
+                max_rounds: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(4).is_err());
+        let plan = FaultPlan {
+            delay: Some(DelayModel {
+                prob: -0.1,
+                max_rounds: 2,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_crash_before_join() {
+        let plan = FaultPlan::default()
+            .with_join(id(1), 5)
+            .with_crash(id(1), 3);
+        assert!(plan.validate(4).is_err());
+        let plan = FaultPlan::default()
+            .with_join(id(1), 3)
+            .with_crash(id(1), 7);
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn liveness_windows() {
+        let plan = FaultPlan::default()
+            .with_join(id(1), 3)
+            .with_crash(id(1), 7);
+        let router: FaultRouter<u8> = FaultRouter::new(&plan, 4, 1);
+        assert!(!router.is_active(1, 0));
+        assert!(!router.is_active(1, 2));
+        assert!(router.is_active(1, 3));
+        assert!(router.joins_at(1, 3));
+        assert!(router.is_active(1, 6));
+        assert!(!router.is_active(1, 7));
+        assert!(router.is_crashed(1, 7));
+        // Node 0 is always active.
+        assert!(router.is_active(0, 0) && router.is_active(0, 100));
+    }
+
+    #[test]
+    fn partition_cuts_cross_traffic_only_during_window() {
+        let plan = FaultPlan::default().with_partition(vec![id(0), id(1)], 2, 5);
+        let mut router: FaultRouter<u8> = FaultRouter::new(&plan, 4, 1);
+        // Cross-cut during the window: dropped.
+        assert_eq!(
+            router.route(id(0), id(2), 3),
+            Route::Drop(DropReason::Partition)
+        );
+        assert_eq!(
+            router.route(id(2), id(1), 2),
+            Route::Drop(DropReason::Partition)
+        );
+        // Same side during the window: delivered.
+        assert_eq!(router.route(id(0), id(1), 3), Route::Deliver);
+        assert_eq!(router.route(id(2), id(3), 3), Route::Deliver);
+        // Cross-cut outside the window: delivered.
+        assert_eq!(router.route(id(0), id(2), 1), Route::Deliver);
+        assert_eq!(router.route(id(0), id(2), 5), Route::Deliver);
+    }
+
+    #[test]
+    fn messages_to_offline_nodes_are_dropped() {
+        let plan = FaultPlan::default()
+            .with_join(id(1), 4)
+            .with_crash(id(2), 2);
+        let mut router: FaultRouter<u8> = FaultRouter::new(&plan, 4, 1);
+        // Delivery at round 1 < join round 4.
+        assert_eq!(
+            router.route(id(0), id(1), 0),
+            Route::Drop(DropReason::Offline)
+        );
+        // Delivery at round 4 == join round: the joiner runs `on_start` that
+        // round and would never see the inbox, so the message is dropped too.
+        assert_eq!(
+            router.route(id(0), id(1), 3),
+            Route::Drop(DropReason::Offline)
+        );
+        // Delivery at round 5, its first `on_round`: fine.
+        assert_eq!(router.route(id(0), id(1), 4), Route::Deliver);
+        // Delivery at round 2 == crash round: lost.
+        assert_eq!(
+            router.route(id(0), id(2), 1),
+            Route::Drop(DropReason::Offline)
+        );
+        assert_eq!(router.route(id(0), id(2), 0), Route::Deliver);
+    }
+
+    #[test]
+    fn drop_prob_one_loses_everything_and_zero_nothing() {
+        let mut lossy: FaultRouter<u8> =
+            FaultRouter::new(&FaultPlan::default().with_drop_prob(1.0), 2, 1);
+        let mut clean: FaultRouter<u8> = FaultRouter::new(&FaultPlan::default(), 2, 1);
+        for r in 0..50 {
+            assert_eq!(lossy.route(id(0), id(1), r), Route::Drop(DropReason::Fault));
+            assert_eq!(clean.route(id(0), id(1), r), Route::Deliver);
+        }
+    }
+
+    #[test]
+    fn delays_buffer_and_release() {
+        let plan = FaultPlan::default().with_delays(1.0, 3);
+        let mut router: FaultRouter<u8> = FaultRouter::new(&plan, 2, 1);
+        let mut seen = 0;
+        for _ in 0..20 {
+            match router.route(id(0), id(1), 10) {
+                Route::Delay(r) => {
+                    assert!((12..=14).contains(&r), "delay out of range: {r}");
+                    router.buffer(
+                        r,
+                        id(1),
+                        Envelope {
+                            from: id(0),
+                            channel: crate::Channel::Global,
+                            payload: 0u8,
+                        },
+                    );
+                    seen += 1;
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+        assert_eq!(seen, 20);
+        assert!(router.has_in_flight());
+        let total: usize = (12..=14).map(|r| router.take_due(r).len()).sum();
+        assert_eq!(total, 20);
+        assert!(!router.has_in_flight());
+        assert!(router.take_due(15).is_empty());
+    }
+
+    #[test]
+    fn routing_is_deterministic_per_seed() {
+        let plan = FaultPlan::default().with_drop_prob(0.3).with_delays(0.5, 4);
+        let route_all = |seed: u64| -> Vec<Route> {
+            let mut router: FaultRouter<u8> = FaultRouter::new(&plan, 8, seed);
+            (0..200)
+                .map(|i| router.route(id(i % 8), id((i + 1) % 8), i))
+                .collect()
+        };
+        assert_eq!(route_all(7), route_all(7));
+        assert_ne!(route_all(7), route_all(8));
+    }
+
+    #[test]
+    fn shifted_rebases_the_timeline() {
+        let plan = FaultPlan::default()
+            .with_drop_prob(0.1)
+            .with_crash(id(0), 5)
+            .with_join(id(1), 3)
+            .with_join(id(2), 12)
+            .with_partition(vec![id(0)], 2, 6)
+            .with_partition(vec![id(1)], 8, 14);
+        let s = plan.shifted(10);
+        assert_eq!(s.drop_prob, 0.1);
+        // Crash already happened: pinned at round 0.
+        assert_eq!(
+            s.crashes,
+            vec![CrashEvent {
+                round: 0,
+                node: id(0)
+            }]
+        );
+        // Join at 3 already happened and disappears; join at 12 becomes 2.
+        assert_eq!(
+            s.joins,
+            vec![JoinEvent {
+                round: 2,
+                node: id(2)
+            }]
+        );
+        // First partition healed; second clipped to [0, 4).
+        assert_eq!(s.partitions.len(), 1);
+        assert_eq!(
+            (s.partitions[0].from_round, s.partitions[0].heal_round),
+            (0, 4)
+        );
+    }
+
+    #[test]
+    fn crash_round_zero_means_never_active() {
+        let plan = FaultPlan::default().with_crash(id(1), 0);
+        let router: FaultRouter<u8> = FaultRouter::new(&plan, 2, 1);
+        assert!(!router.is_active(1, 0));
+        assert!(!router.is_active(1, 50));
+        assert!(router.is_active(0, 0));
+    }
+}

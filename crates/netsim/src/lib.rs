@@ -19,6 +19,13 @@
 //! Protocols are deterministic state machines implementing [`Protocol`]; all randomness
 //! comes from per-node seeded RNGs, so every simulation is reproducible from its seed.
 //!
+//! Beyond the clean synchronous model, the simulator can inject deterministic
+//! environmental faults — random message loss, delivery delays, crash-stop failures,
+//! delayed node joins, and temporary partitions — declared as a [`FaultPlan`] in
+//! [`SimConfig::faults`] and executed by the [`FaultRouter`] (see [`faults`]). Fault
+//! decisions are drawn from the simulation seed, so faulty runs replay exactly, and
+//! every interference is recorded in [`RoundMetrics`].
+//!
 //! # Example
 //!
 //! ```
@@ -58,11 +65,13 @@
 #![warn(missing_docs)]
 
 pub mod caps;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod runtime;
 
 pub use caps::CapacityModel;
+pub use faults::{CrashEvent, DelayModel, FaultPlan, FaultRouter, JoinEvent, Partition};
 pub use metrics::{RoundMetrics, RunMetrics};
 pub use protocol::{Channel, Ctx, Envelope, Protocol};
 pub use runtime::{RunOutcome, SimConfig, Simulator};

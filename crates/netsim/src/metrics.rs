@@ -22,6 +22,20 @@ pub struct RoundMetrics {
     /// Messages dropped because a sender exceeded its send cap (or the per-edge CONGEST
     /// cap for local messages).
     pub dropped_send: usize,
+    /// Messages lost to injected random loss (see [`crate::FaultPlan::drop_prob`]).
+    pub dropped_fault: usize,
+    /// Messages blocked by an active partition.
+    pub dropped_partition: usize,
+    /// Messages addressed to a crashed or not-yet-joined node.
+    pub dropped_offline: usize,
+    /// Messages held back by an injected delivery delay this round (counted at send
+    /// time; they appear in `delivered` in their actual delivery round — unless the
+    /// run stops first, in which case this is the only counter that saw them).
+    pub delayed: usize,
+    /// Nodes that crashed at the start of this round.
+    pub crashed: usize,
+    /// Nodes that joined at the start of this round.
+    pub joined: usize,
 }
 
 /// Aggregated communication counters for a whole run.
@@ -91,6 +105,42 @@ impl RunMetrics {
         self.per_round.iter().map(|r| r.dropped_send as u64).sum()
     }
 
+    /// Total messages lost to injected random loss over the whole run.
+    pub fn total_dropped_fault(&self) -> u64 {
+        self.per_round.iter().map(|r| r.dropped_fault as u64).sum()
+    }
+
+    /// Total messages blocked by partitions over the whole run.
+    pub fn total_dropped_partition(&self) -> u64 {
+        self.per_round
+            .iter()
+            .map(|r| r.dropped_partition as u64)
+            .sum()
+    }
+
+    /// Total messages addressed to offline (crashed / not yet joined) nodes.
+    pub fn total_dropped_offline(&self) -> u64 {
+        self.per_round
+            .iter()
+            .map(|r| r.dropped_offline as u64)
+            .sum()
+    }
+
+    /// Total messages that suffered an injected delivery delay.
+    pub fn total_delayed(&self) -> u64 {
+        self.per_round.iter().map(|r| r.delayed as u64).sum()
+    }
+
+    /// Total number of crash events executed over the whole run.
+    pub fn total_crashed(&self) -> usize {
+        self.per_round.iter().map(|r| r.crashed).sum()
+    }
+
+    /// Total number of join events executed over the whole run.
+    pub fn total_joined(&self) -> usize {
+        self.per_round.iter().map(|r| r.joined).sum()
+    }
+
     /// The maximum total number of messages any single node sent over the whole run
     /// (the paper bounds this by `O(log² n)` for the main algorithm).
     pub fn max_total_sent_per_node(&self) -> u64 {
@@ -122,6 +172,12 @@ mod tests {
             delivered: 5,
             dropped_receive: 1,
             dropped_send: 0,
+            dropped_fault: 2,
+            dropped_partition: 1,
+            dropped_offline: 0,
+            delayed: 3,
+            crashed: 1,
+            joined: 0,
         });
         m.per_round.push(RoundMetrics {
             max_sent: 1,
@@ -131,6 +187,12 @@ mod tests {
             delivered: 4,
             dropped_receive: 0,
             dropped_send: 2,
+            dropped_fault: 0,
+            dropped_partition: 2,
+            dropped_offline: 4,
+            delayed: 0,
+            crashed: 0,
+            joined: 2,
         });
         m.total_sent_per_node = vec![7, 2];
         assert_eq!(m.max_sent_in_any_round(), 3);
@@ -139,6 +201,12 @@ mod tests {
         assert_eq!(m.total_delivered(), 9);
         assert_eq!(m.total_dropped_receive(), 1);
         assert_eq!(m.total_dropped_send(), 2);
+        assert_eq!(m.total_dropped_fault(), 2);
+        assert_eq!(m.total_dropped_partition(), 3);
+        assert_eq!(m.total_dropped_offline(), 4);
+        assert_eq!(m.total_delayed(), 3);
+        assert_eq!(m.total_crashed(), 1);
+        assert_eq!(m.total_joined(), 2);
         assert_eq!(m.max_total_sent_per_node(), 7);
     }
 }

@@ -1,0 +1,185 @@
+//! A minimal JSON writer — just enough for the sweep reports, with no external
+//! dependency (the build container vendors its crates).
+
+use std::fmt::Write;
+
+/// A JSON value under construction.
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// A float rendered with up to 6 significant decimals.
+    Num(f64),
+    /// An integer rendered exactly.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Convenience constructor for object literals.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Renders the value with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Json::Str(s) => write_escaped(out, s),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Trim trailing zeros for stable, compact output.
+                    let s = format!("{x:.6}");
+                    let s = s.trim_end_matches('0').trim_end_matches('.');
+                    out.push_str(if s.is_empty() { "0" } else { s });
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Obj(fields) => {
+                write_items(
+                    out,
+                    indent,
+                    pretty,
+                    '{',
+                    '}',
+                    fields.len(),
+                    |out, i, ind, p| {
+                        let (k, v) = &fields[i];
+                        write_escaped(out, k);
+                        out.push(':');
+                        if p {
+                            out.push(' ');
+                        }
+                        v.write(out, ind, p);
+                    },
+                );
+            }
+            Json::Arr(items) => {
+                write_items(
+                    out,
+                    indent,
+                    pretty,
+                    '[',
+                    ']',
+                    items.len(),
+                    |out, i, ind, p| {
+                        items[i].write(out, ind, p);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn write_items(
+    out: &mut String,
+    indent: usize,
+    pretty: bool,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize, bool),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            for _ in 0..(indent + 1) * 2 {
+                out.push(' ');
+            }
+        }
+        item(out, i, indent + 1, pretty);
+    }
+    if pretty && len > 0 {
+        out.push('\n');
+        for _ in 0..indent * 2 {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("lossy \"ncc0\"".into())),
+            ("rate", Json::Num(0.875)),
+            ("runs", Json::Int(16)),
+            ("ok", Json::Bool(true)),
+            (
+                "xs",
+                Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(3)]),
+            ),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"lossy \"ncc0\"","rate":0.875,"runs":16,"ok":true,"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses_compactly() {
+        let v = Json::obj(vec![("a", Json::Arr(vec![Json::Int(1)]))]);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"a\""));
+        assert_eq!(pretty.replace(['\n', ' '], ""), v.render());
+    }
+
+    #[test]
+    fn floats_are_trimmed() {
+        assert_eq!(Json::Num(1.0).render(), "1");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+}

@@ -1,0 +1,45 @@
+//! Declarative churn & fault scenarios with a parallel multi-seed sweep runner.
+//!
+//! The paper's Theorem 1.1 is a clean-network statement; this crate measures what the
+//! pipeline does when the network is *not* clean. A [`Scenario`] names one experiment:
+//! a graph family × size × capacity profile × [`FaultSpec`] (lowered per run into a
+//! concrete seeded [`overlay_netsim::FaultPlan`]). A [`Sweep`] executes a scenario
+//! across many seeds — in parallel via rayon — and aggregates the per-seed
+//! [`RunRecord`]s into a [`SweepReport`] with success rates, coverage, round counts
+//! and message-loss accounting, serializable to JSON.
+//!
+//! # The registry
+//!
+//! [`registry`] returns the named built-in scenarios (clean baselines, lossy NCC0,
+//! delay jitter, mid-build crash wave, join churn, partition/heal, tight capacity);
+//! [`find`] looks one up by name. Run them all via the `experiments` binary of
+//! `overlay-bench` or sweep a single one with `examples/churn_sweep.rs`.
+//!
+//! # Adding a scenario
+//!
+//! 1. If the failure mode is new, add a variant to [`FaultSpec`] and lower it to a
+//!    [`overlay_netsim::FaultPlan`] in [`FaultSpec::lower`] — keep every random choice
+//!    derived from the `seed` argument so reruns are reproducible.
+//! 2. Append a `Scenario { name, description, family, n, capacity, faults }` entry to
+//!    [`registry`]. Names are kebab-case and unique; the registry test enforces this.
+//! 3. There is no step 3: sweeps, aggregation, JSON reports and the experiments
+//!    binary pick the new entry up automatically.
+//!
+//! # Determinism
+//!
+//! A scenario run is a pure function of `(scenario, seed)`: graph generation, the
+//! fault plan, and every simulator decision derive from the seed. The sweep runner
+//! preserves input order regardless of worker scheduling, so a whole [`SweepReport`]
+//! is reproducible byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod registry;
+mod scenario;
+mod sweep;
+
+pub use registry::{find, registry};
+pub use scenario::{CapacityProfile, FaultSpec, GraphFamily, RunRecord, Scenario};
+pub use sweep::{Sweep, SweepReport};

@@ -1,0 +1,146 @@
+//! The built-in named scenarios.
+
+use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario};
+
+/// Returns the built-in scenarios, clean baselines first.
+///
+/// Sizes are laptop-friendly so the whole registry sweeps in seconds; the specs are
+/// fractions of `n` and of the round schedule, so scaling a scenario up is just a
+/// bigger `n`.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "clean-line",
+            description: "Baseline: the paper's worst-case input (a line), no faults",
+            family: GraphFamily::Line,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Clean,
+        },
+        Scenario {
+            name: "clean-expander",
+            description: "Baseline: an already-good random 4-regular graph, no faults",
+            family: GraphFamily::RandomRegular { degree: 4 },
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Clean,
+        },
+        Scenario {
+            name: "lossy-ncc0",
+            description: "0.2% independent message loss on a cycle — enough to kill \
+                          some seeds (the one-round finalize phase has no redundancy)",
+            family: GraphFamily::Cycle,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.002 },
+        },
+        Scenario {
+            name: "lossy-ncc0-heavy",
+            description: "5% independent message loss on a cycle: the protocol has no \
+                          retransmissions, so this documents the collapse mode",
+            family: GraphFamily::Cycle,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.05 },
+        },
+        Scenario {
+            name: "delay-jitter",
+            description: "25% of messages delayed up to 3 rounds on a line",
+            family: GraphFamily::Line,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Jitter {
+                delay_prob: 0.25,
+                max_delay: 3,
+            },
+        },
+        Scenario {
+            name: "mid-build-crash-wave",
+            description: "10% of nodes crash a third of the way into construction",
+            family: GraphFamily::RandomRegular { degree: 4 },
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::CrashWave {
+                fraction: 0.10,
+                at: 0.33,
+            },
+        },
+        Scenario {
+            name: "join-churn",
+            description: "15% of nodes join late (bounded knowledge), staggered over \
+                          the first 40% of construction",
+            family: GraphFamily::Cycle,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::JoinChurn {
+                fraction: 0.15,
+                spread: 0.40,
+            },
+        },
+        Scenario {
+            name: "partition-heal",
+            description: "The id halves are partitioned from 20% to 50% of \
+                          construction, then heal",
+            family: GraphFamily::TwoCyclesBridged,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::PartitionHeal {
+                from: 0.20,
+                heal: 0.50,
+            },
+        },
+        Scenario {
+            name: "tight-caps",
+            description: "Clean network but only 3/4 of the standard NCC0 capacity",
+            family: GraphFamily::Line,
+            n: 128,
+            capacity: CapacityProfile::Tight,
+            faults: FaultSpec::Clean,
+        },
+    ]
+}
+
+/// Looks a scenario up by its registry name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_six_unique_named_scenarios() {
+        let scenarios = registry();
+        assert!(scenarios.len() >= 6, "only {} scenarios", scenarios.len());
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "names must be unique");
+        for s in &scenarios {
+            assert!(
+                s.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{} is not kebab-case",
+                s.name
+            );
+            assert!(!s.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn find_round_trips() {
+        assert_eq!(find("join-churn").unwrap().name, "join-churn");
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn every_registered_scenario_runs() {
+        for s in registry() {
+            let r = s.run(1);
+            assert!(r.rounds > 0, "{} executed no rounds", s.name);
+            assert!(r.delivered > 0, "{} delivered nothing", s.name);
+        }
+    }
+}

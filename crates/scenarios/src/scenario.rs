@@ -1,0 +1,442 @@
+//! The declarative scenario type and its lowering into concrete runs.
+
+use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder};
+use overlay_graph::{generators, DiGraph, NodeId};
+use overlay_netsim::FaultPlan;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The initial knowledge graph a scenario starts from. All families have constant
+/// degree, as Theorem 1.1 requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// A path — the paper's worst case (diameter `n - 1`).
+    Line,
+    /// A cycle.
+    Cycle,
+    /// A complete binary tree.
+    BinaryTree,
+    /// A random d-regular graph (already an expander w.h.p.; the easy case).
+    RandomRegular {
+        /// The degree (constant, small).
+        degree: usize,
+    },
+    /// Two cycles of `n/2` nodes joined by one bridge edge — conductance `Θ(1/n)`
+    /// with a single cut edge, the nastiest constant-degree input for partitions.
+    TwoCyclesBridged,
+}
+
+impl GraphFamily {
+    /// Builds the graph on `n` nodes; `seed` only matters for random families.
+    pub fn build(&self, n: usize, seed: u64) -> DiGraph {
+        match self {
+            GraphFamily::Line => generators::line(n),
+            GraphFamily::Cycle => generators::cycle(n),
+            GraphFamily::BinaryTree => generators::binary_tree(n),
+            GraphFamily::RandomRegular { degree } => generators::random_regular(n, *degree, seed),
+            GraphFamily::TwoCyclesBridged => {
+                let half = (n / 2).max(1);
+                let mut g = DiGraph::new(2 * half);
+                for i in 0..half {
+                    g.add_edge(NodeId::from(i), NodeId::from((i + 1) % half));
+                    g.add_edge(NodeId::from(half + i), NodeId::from(half + (i + 1) % half));
+                }
+                g.add_edge(NodeId::from(0usize), NodeId::from(half));
+                g
+            }
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            GraphFamily::Line => "line".into(),
+            GraphFamily::Cycle => "cycle".into(),
+            GraphFamily::BinaryTree => "binary-tree".into(),
+            GraphFamily::RandomRegular { degree } => format!("random-{degree}-regular"),
+            GraphFamily::TwoCyclesBridged => "two-cycles-bridged".into(),
+        }
+    }
+
+    /// The node count actually used for `n` (TwoCyclesBridged rounds down to even).
+    pub fn actual_n(&self, n: usize) -> usize {
+        match self {
+            GraphFamily::TwoCyclesBridged => 2 * (n / 2).max(1),
+            _ => n,
+        }
+    }
+}
+
+/// How much per-round NCC0 capacity nodes get, relative to the paper-shaped default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapacityProfile {
+    /// The default `2Δ` cap from [`ExpanderParams::for_n`].
+    Standard,
+    /// Three quarters of the default — adversarial capacity pressure; the receive
+    /// cap starts dropping messages and the run must cope.
+    Tight,
+    /// Twice the default — headroom to isolate fault effects from capacity effects.
+    Generous,
+}
+
+impl CapacityProfile {
+    fn apply(&self, params: &mut ExpanderParams) {
+        match self {
+            CapacityProfile::Standard => {}
+            CapacityProfile::Tight => params.ncc0_cap = (params.ncc0_cap * 3 / 4).max(1),
+            CapacityProfile::Generous => params.ncc0_cap *= 2,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CapacityProfile::Standard => "standard",
+            CapacityProfile::Tight => "tight",
+            CapacityProfile::Generous => "generous",
+        }
+    }
+}
+
+/// The declarative fault load of a scenario, lowered per run (given `n`, the round
+/// schedule and the seed) into a concrete [`FaultPlan`].
+///
+/// Fractions are of the node count; round positions are fractions of the
+/// construction schedule so scenarios stay meaningful across sizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// No faults — the paper's setting.
+    Clean,
+    /// Independent per-message loss.
+    Lossy {
+        /// Per-message drop probability.
+        drop_prob: f64,
+    },
+    /// Random delivery delays.
+    Jitter {
+        /// Probability that a message is delayed.
+        delay_prob: f64,
+        /// Maximum extra rounds a delayed message is held.
+        max_delay: usize,
+    },
+    /// A wave of crash-stop failures partway through construction.
+    CrashWave {
+        /// Fraction of nodes that crash.
+        fraction: f64,
+        /// When the wave hits, as a fraction of the construction schedule.
+        at: f64,
+    },
+    /// Nodes joining late with bounded initial knowledge (their constant-degree
+    /// graph edges), staggered over the start of construction.
+    JoinChurn {
+        /// Fraction of nodes that join late.
+        fraction: f64,
+        /// The join rounds spread over this fraction of the construction schedule.
+        spread: f64,
+    },
+    /// A partition that splits the first half of the ids from the second, then heals.
+    PartitionHeal {
+        /// Window start, as a fraction of the construction schedule.
+        from: f64,
+        /// Window end (heal), as a fraction of the construction schedule.
+        heal: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Lowers the spec into a concrete plan for `n` nodes under `params`'s round
+    /// schedule, with all random choices drawn from `seed`.
+    pub fn lower(&self, n: usize, params: &ExpanderParams, seed: u64) -> FaultPlan {
+        let schedule = construction_rounds(params);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CE2_A210_F00D_CAFE);
+        match *self {
+            FaultSpec::Clean => FaultPlan::default(),
+            FaultSpec::Lossy { drop_prob } => FaultPlan::default().with_drop_prob(drop_prob),
+            FaultSpec::Jitter {
+                delay_prob,
+                max_delay,
+            } => FaultPlan::default().with_delays(delay_prob, max_delay),
+            FaultSpec::CrashWave { fraction, at } => {
+                let round = fraction_round(schedule, at);
+                let mut plan = FaultPlan::default();
+                for v in seeded_subset(n, fraction, &mut rng) {
+                    plan = plan.with_crash(NodeId::from(v), round);
+                }
+                plan
+            }
+            FaultSpec::JoinChurn { fraction, spread } => {
+                let last = fraction_round(schedule, spread).max(2);
+                let mut plan = FaultPlan::default();
+                for v in seeded_subset(n, fraction, &mut rng) {
+                    let round = rng.gen_range(1..last);
+                    plan = plan.with_join(NodeId::from(v), round);
+                }
+                plan
+            }
+            FaultSpec::PartitionHeal { from, heal } => {
+                let from_round = fraction_round(schedule, from);
+                let heal_round = fraction_round(schedule, heal).max(from_round + 1);
+                let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::from).collect();
+                FaultPlan::default().with_partition(side_a, from_round, heal_round)
+            }
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSpec::Clean => "clean",
+            FaultSpec::Lossy { .. } => "lossy",
+            FaultSpec::Jitter { .. } => "jitter",
+            FaultSpec::CrashWave { .. } => "crash-wave",
+            FaultSpec::JoinChurn { .. } => "join-churn",
+            FaultSpec::PartitionHeal { .. } => "partition-heal",
+        }
+    }
+}
+
+/// Rounds of the construction phase (the schedule faults are positioned against).
+fn construction_rounds(params: &ExpanderParams) -> usize {
+    ExpanderNode::total_rounds(params)
+}
+
+fn fraction_round(schedule: usize, fraction: f64) -> usize {
+    ((schedule as f64 * fraction).round() as usize).min(schedule)
+}
+
+/// A seeded random subset of `⌊fraction · n⌋` nodes, excluding node 0 (keeping at
+/// least one stable resident keeps the scenarios comparable across seeds).
+fn seeded_subset(n: usize, fraction: f64, rng: &mut StdRng) -> Vec<usize> {
+    let k = ((n as f64 * fraction) as usize).min(n.saturating_sub(1));
+    let mut ids: Vec<usize> = (1..n).collect();
+    ids.shuffle(rng);
+    ids.truncate(k);
+    ids.sort_unstable();
+    ids
+}
+
+/// One named experiment: everything needed to run the pipeline under a fault load.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Unique kebab-case name (registry key).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub description: &'static str,
+    /// The initial knowledge graph family.
+    pub family: GraphFamily,
+    /// Node count (a family may round it; see [`GraphFamily::actual_n`]).
+    pub n: usize,
+    /// The NCC0 capacity profile.
+    pub capacity: CapacityProfile,
+    /// The fault load.
+    pub faults: FaultSpec,
+}
+
+/// The outcome of one `(scenario, seed)` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// The seed this run used.
+    pub seed: u64,
+    /// Pipeline completed *and* the tree is valid over the nodes alive at the end.
+    pub success: bool,
+    /// Pipeline produced a tree at all (may be invalid over the survivors).
+    pub completed: bool,
+    /// Fraction of the initial nodes covered by the final alive tree.
+    pub coverage: f64,
+    /// Total rounds across all phases that ran.
+    pub rounds: usize,
+    /// Size of the surviving core the pipeline continued with.
+    pub core_size: usize,
+    /// Tree height (0 when no tree formed).
+    pub tree_height: usize,
+    /// Tree degree (0 when no tree formed).
+    pub tree_degree: usize,
+    /// Messages delivered across all phases.
+    pub delivered: u64,
+    /// Messages lost to injected faults (loss + partitions).
+    pub dropped_fault: u64,
+    /// Messages to crashed/dormant nodes.
+    pub dropped_offline: u64,
+    /// Messages dropped by the NCC0 receive cap.
+    pub dropped_receive: u64,
+    /// Messages that suffered injected delays.
+    pub delayed: u64,
+    /// Crash events executed.
+    pub crashed: usize,
+    /// Join events executed.
+    pub joined: usize,
+    /// Name of the first stalled phase, empty when none stalled.
+    pub stalled_phase: &'static str,
+}
+
+impl Scenario {
+    /// The effective node count after family rounding.
+    pub fn actual_n(&self) -> usize {
+        self.family.actual_n(self.n)
+    }
+
+    /// Runs the scenario once under `seed`, deterministically.
+    pub fn run(&self, seed: u64) -> RunRecord {
+        let n = self.actual_n();
+        let mut params = ExpanderParams::for_n(n).with_seed(seed);
+        self.capacity.apply(&mut params);
+        let g = self.family.build(n, seed ^ 0x6EED_5EED);
+        let plan = self.faults.lower(n, &params, seed);
+        let report = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("registry scenarios produce valid inputs");
+        let (tree_height, tree_degree) = report
+            .result
+            .as_ref()
+            .map(|r| (r.tree.height(), r.tree.max_degree()))
+            .unwrap_or((0, 0));
+        RunRecord {
+            seed,
+            success: report.is_success(),
+            completed: report.result.is_some(),
+            coverage: report.coverage(n),
+            rounds: report.rounds.total(),
+            core_size: report.survivor_ids.len(),
+            tree_height,
+            tree_degree,
+            delivered: report.messages.total_delivered,
+            dropped_fault: report.messages.dropped_fault,
+            dropped_offline: report.messages.dropped_offline,
+            dropped_receive: report.messages.dropped_receive,
+            delayed: report.messages.delayed,
+            crashed: report.crashed,
+            joined: report.joined,
+            stalled_phase: report.stalled_phase().unwrap_or(""),
+        }
+    }
+
+    /// A full label like `join-churn(cycle/128, standard caps)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}({}/{}, {} caps)",
+            self.name,
+            self.family.label(),
+            self.actual_n(),
+            self.capacity.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_families_build_connected_graphs() {
+        for family in [
+            GraphFamily::Line,
+            GraphFamily::Cycle,
+            GraphFamily::BinaryTree,
+            GraphFamily::RandomRegular { degree: 4 },
+            GraphFamily::TwoCyclesBridged,
+        ] {
+            let n = family.actual_n(48);
+            let g = family.build(48, 7);
+            assert_eq!(g.node_count(), n, "{}", family.label());
+            assert!(
+                overlay_graph::analysis::is_connected(&g.to_undirected()),
+                "{} must be connected",
+                family.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fault_specs_lower_deterministically() {
+        let params = ExpanderParams::for_n(64);
+        for spec in [
+            FaultSpec::Clean,
+            FaultSpec::Lossy { drop_prob: 0.1 },
+            FaultSpec::Jitter {
+                delay_prob: 0.3,
+                max_delay: 3,
+            },
+            FaultSpec::CrashWave {
+                fraction: 0.1,
+                at: 0.3,
+            },
+            FaultSpec::JoinChurn {
+                fraction: 0.2,
+                spread: 0.4,
+            },
+            FaultSpec::PartitionHeal {
+                from: 0.2,
+                heal: 0.5,
+            },
+        ] {
+            assert_eq!(
+                spec.lower(64, &params, 9),
+                spec.lower(64, &params, 9),
+                "{}",
+                spec.label()
+            );
+            assert!(
+                spec.lower(64, &params, 9).validate(64).is_ok(),
+                "{}",
+                spec.label()
+            );
+        }
+        // Different seeds give different crash sets.
+        let a = FaultSpec::CrashWave {
+            fraction: 0.2,
+            at: 0.3,
+        }
+        .lower(64, &params, 1);
+        let b = FaultSpec::CrashWave {
+            fraction: 0.2,
+            at: 0.3,
+        }
+        .lower(64, &params, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crash_wave_never_touches_node_zero() {
+        let params = ExpanderParams::for_n(64);
+        for seed in 0..20 {
+            let plan = FaultSpec::CrashWave {
+                fraction: 0.5,
+                at: 0.5,
+            }
+            .lower(64, &params, seed);
+            assert!(plan.crashes.iter().all(|c| c.node.index() != 0));
+        }
+    }
+
+    #[test]
+    fn clean_scenario_run_succeeds_fully() {
+        let s = Scenario {
+            name: "test-clean",
+            description: "clean line",
+            family: GraphFamily::Line,
+            n: 48,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Clean,
+        };
+        let r = s.run(3);
+        assert!(r.success && r.completed);
+        assert!((r.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(r.core_size, 48);
+        assert_eq!(r.dropped_fault, 0);
+        assert_eq!(r.stalled_phase, "");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let s = Scenario {
+            name: "test-lossy",
+            description: "lossy cycle",
+            family: GraphFamily::Cycle,
+            n: 48,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.05 },
+        };
+        assert_eq!(s.run(11), s.run(11));
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-seed sweeps: run one scenario across many seeds, in parallel, and
+//! aggregate the results.
+
+use crate::json::Json;
+use crate::scenario::{RunRecord, Scenario};
+use rayon::prelude::*;
+use std::time::Duration;
+
+/// A scenario × seed-set execution plan.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// The seeds to run it under (one [`RunRecord`] each).
+    pub seeds: Vec<u64>,
+}
+
+impl Sweep {
+    /// A sweep over `count` consecutive seeds starting at `first_seed`.
+    pub fn over_seeds(scenario: Scenario, first_seed: u64, count: usize) -> Self {
+        Sweep {
+            scenario,
+            seeds: (0..count as u64).map(|i| first_seed + i).collect(),
+        }
+    }
+
+    /// Runs every seed in parallel (rayon) and aggregates. Results are ordered by
+    /// seed position, so the report is identical to [`Sweep::run_sequential`]'s.
+    pub fn run(&self) -> SweepReport {
+        let start = std::time::Instant::now();
+        let records: Vec<RunRecord> = self
+            .seeds
+            .par_iter()
+            .map(|&seed| self.scenario.run(seed))
+            .collect();
+        self.assemble(records, start.elapsed(), rayon::current_num_threads())
+    }
+
+    /// Runs every seed on the calling thread (the comparison baseline for the
+    /// parallel path).
+    pub fn run_sequential(&self) -> SweepReport {
+        let start = std::time::Instant::now();
+        let records: Vec<RunRecord> = self.seeds.iter().map(|&s| self.scenario.run(s)).collect();
+        self.assemble(records, start.elapsed(), 1)
+    }
+
+    fn assemble(&self, records: Vec<RunRecord>, wall: Duration, workers: usize) -> SweepReport {
+        SweepReport {
+            scenario: self.scenario.clone(),
+            records,
+            wall,
+            workers,
+        }
+    }
+}
+
+/// The aggregated outcome of a [`Sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Per-seed outcomes, in seed order.
+    pub records: Vec<RunRecord>,
+    /// Wall-clock time of the sweep (the only non-deterministic field; excluded from
+    /// [`SweepReport::to_json`]'s deterministic section).
+    pub wall: Duration,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+}
+
+impl SweepReport {
+    /// Fraction of runs that completed with a tree valid over the final survivors.
+    pub fn success_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.success).count() as f64 / self.records.len() as f64
+    }
+
+    /// Mean coverage (alive tree nodes / initial nodes) across runs.
+    pub fn mean_coverage(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.coverage))
+    }
+
+    /// Mean total round count across runs.
+    pub fn mean_rounds(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.rounds as f64))
+    }
+
+    /// Smallest and largest round counts observed.
+    pub fn round_range(&self) -> (usize, usize) {
+        let min = self.records.iter().map(|r| r.rounds).min().unwrap_or(0);
+        let max = self.records.iter().map(|r| r.rounds).max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Mean messages delivered per run.
+    pub fn mean_delivered(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.delivered as f64))
+    }
+
+    /// Total messages lost to injected faults across all runs.
+    pub fn total_dropped_fault(&self) -> u64 {
+        self.records.iter().map(|r| r.dropped_fault).sum()
+    }
+
+    /// The deterministic aggregate + per-seed report as a JSON value.
+    ///
+    /// Wall-clock time and worker count are environment facts, not results, and are
+    /// reported next to — not inside — the deterministic body, so diffing two sweep
+    /// reports answers "did behavior change?".
+    pub fn to_json(&self) -> Json {
+        let (rounds_min, rounds_max) = self.round_range();
+        Json::obj(vec![
+            ("scenario", Json::Str(self.scenario.name.to_string())),
+            (
+                "description",
+                Json::Str(self.scenario.description.to_string()),
+            ),
+            ("family", Json::Str(self.scenario.family.label())),
+            ("n", Json::Int(self.scenario.actual_n() as i64)),
+            (
+                "capacity",
+                Json::Str(self.scenario.capacity.label().to_string()),
+            ),
+            (
+                "faults",
+                Json::Str(self.scenario.faults.label().to_string()),
+            ),
+            ("seeds", Json::Int(self.records.len() as i64)),
+            ("success_rate", Json::Num(self.success_rate())),
+            ("mean_coverage", Json::Num(self.mean_coverage())),
+            ("mean_rounds", Json::Num(self.mean_rounds())),
+            ("rounds_min", Json::Int(rounds_min as i64)),
+            ("rounds_max", Json::Int(rounds_max as i64)),
+            ("mean_delivered", Json::Num(self.mean_delivered())),
+            (
+                "total_dropped_fault",
+                Json::Int(self.total_dropped_fault() as i64),
+            ),
+            (
+                "runs",
+                Json::Arr(self.records.iter().map(record_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the deterministic JSON report as a pretty string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<44} seeds={:<3} success={:>5.1}% coverage={:>5.1}% rounds={:.0} ({}..{}) wall={:?} workers={}",
+            self.scenario.label(),
+            self.records.len(),
+            100.0 * self.success_rate(),
+            100.0 * self.mean_coverage(),
+            self.mean_rounds(),
+            self.round_range().0,
+            self.round_range().1,
+            self.wall,
+            self.workers,
+        )
+    }
+}
+
+fn record_json(r: &RunRecord) -> Json {
+    Json::obj(vec![
+        ("seed", Json::Int(r.seed as i64)),
+        ("success", Json::Bool(r.success)),
+        ("completed", Json::Bool(r.completed)),
+        ("coverage", Json::Num(r.coverage)),
+        ("rounds", Json::Int(r.rounds as i64)),
+        ("core_size", Json::Int(r.core_size as i64)),
+        ("tree_height", Json::Int(r.tree_height as i64)),
+        ("tree_degree", Json::Int(r.tree_degree as i64)),
+        ("delivered", Json::Int(r.delivered as i64)),
+        ("dropped_fault", Json::Int(r.dropped_fault as i64)),
+        ("dropped_offline", Json::Int(r.dropped_offline as i64)),
+        ("dropped_receive", Json::Int(r.dropped_receive as i64)),
+        ("delayed", Json::Int(r.delayed as i64)),
+        ("crashed", Json::Int(r.crashed as i64)),
+        ("joined", Json::Int(r.joined as i64)),
+        ("stalled_phase", Json::Str(r.stalled_phase.to_string())),
+    ])
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut count) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::find;
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let sweep = Sweep::over_seeds(find("lossy-ncc0").unwrap(), 0, 6);
+        let par = sweep.run();
+        let seq = sweep.run_sequential();
+        assert_eq!(par.records, seq.records);
+        assert_eq!(par.to_json().render(), seq.to_json().render());
+    }
+
+    #[test]
+    fn rerunning_a_sweep_is_byte_identical() {
+        let sweep = Sweep::over_seeds(find("mid-build-crash-wave").unwrap(), 40, 4);
+        assert_eq!(sweep.run().to_json_string(), sweep.run().to_json_string());
+    }
+
+    #[test]
+    fn clean_baseline_always_succeeds() {
+        let report = Sweep::over_seeds(find("clean-line").unwrap(), 0, 4).run();
+        assert!((report.success_rate() - 1.0).abs() < 1e-12);
+        assert!((report.mean_coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(report.total_dropped_fault(), 0);
+    }
+
+    #[test]
+    fn json_report_carries_every_seed() {
+        let sweep = Sweep::over_seeds(find("delay-jitter").unwrap(), 7, 3);
+        let rendered = sweep.run().to_json_string();
+        for seed in 7..10 {
+            assert!(
+                rendered.contains(&format!("\"seed\": {seed}")),
+                "{rendered}"
+            );
+        }
+        assert!(rendered.contains("\"success_rate\""));
+    }
+}

@@ -11,8 +11,7 @@
 
 use overlay_networks::graph::{generators, sequential};
 use overlay_networks::hybrid::{
-    ComponentsConfig, DistributedBiconnectivity, HybridComponents, HybridMis,
-    HybridSpanningTree,
+    ComponentsConfig, DistributedBiconnectivity, HybridComponents, HybridMis, HybridSpanningTree,
 };
 
 fn main() {

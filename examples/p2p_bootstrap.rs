@@ -88,7 +88,10 @@ fn main() {
         }
     }
     let root = tree.root();
-    println!("\n-- aggregation over the tree ({} rounds = tree height) --", tree.height());
+    println!(
+        "\n-- aggregation over the tree ({} rounds = tree height) --",
+        tree.height()
+    );
     println!(
         "root {root} learns: {} peers online, total load {}",
         subtree_size[root.index()],

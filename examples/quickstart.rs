@@ -12,7 +12,10 @@ fn main() {
         .unwrap_or(512);
 
     println!("== Time-optimal overlay construction: quickstart ==");
-    println!("initial graph: line with n = {n} (diameter {}, conductance Θ(1/n))", n - 1);
+    println!(
+        "initial graph: line with n = {n} (diameter {}, conductance Θ(1/n))",
+        n - 1
+    );
 
     let params = ExpanderParams::for_n(n).with_seed(42);
     println!(

@@ -12,7 +12,10 @@
 //! * [`hybrid`] (`overlay-hybrid`) — connected components, spanning trees, biconnected
 //!   components and MIS in the hybrid model (Theorems 1.2–1.5),
 //! * [`baselines`] (`overlay-baselines`) — supernode merging, pointer jumping, flooding
-//!   and Luby MIS baselines.
+//!   and Luby MIS baselines,
+//! * [`scenarios`] (`overlay-scenarios`) — declarative churn/fault scenarios (message
+//!   loss, delays, crash waves, join churn, partitions) and a rayon-parallel
+//!   multi-seed sweep runner with JSON reports.
 //!
 //! # Quick start
 //!
@@ -36,3 +39,4 @@ pub use overlay_core as core;
 pub use overlay_graph as graph;
 pub use overlay_hybrid as hybrid;
 pub use overlay_netsim as netsim;
+pub use overlay_scenarios as scenarios;

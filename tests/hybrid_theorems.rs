@@ -3,8 +3,7 @@
 
 use overlay_networks::graph::{analysis, generators, sequential, DiGraph};
 use overlay_networks::hybrid::{
-    ComponentsConfig, DistributedBiconnectivity, HybridComponents, HybridMis,
-    HybridSpanningTree,
+    ComponentsConfig, DistributedBiconnectivity, HybridComponents, HybridMis, HybridSpanningTree,
 };
 
 #[test]
@@ -43,12 +42,9 @@ fn theorem_1_3_spanning_trees_match_the_graph() {
         (3, generators::connected_random(100, 0.08, 17)),
         (4, generators::caveman(5, 8)),
     ] {
-        let result = HybridSpanningTree {
-            seed,
-            walk_len: 12,
-        }
-        .run(&g)
-        .expect("spanning tree succeeds");
+        let result = HybridSpanningTree { seed, walk_len: 12 }
+            .run(&g)
+            .expect("spanning tree succeeds");
         assert!(
             analysis::is_spanning_tree(&g.to_undirected(), &result.parent),
             "seed {seed}: spanning tree invalid"
@@ -65,11 +61,16 @@ fn theorem_1_4_biconnectivity_matches_tarjan() {
         generators::grid(6, 5),
     ];
     for (i, g) in graphs.iter().enumerate() {
-        let ours = DistributedBiconnectivity { seed: 40 + i as u64 }
-            .run(g)
-            .expect("biconnectivity succeeds");
+        let ours = DistributedBiconnectivity {
+            seed: 40 + i as u64,
+        }
+        .run(g)
+        .expect("biconnectivity succeeds");
         let truth = sequential::biconnected_components(&g.to_undirected());
-        assert_eq!(ours.cut_vertices, truth.cut_vertices, "graph {i}: cut vertices");
+        assert_eq!(
+            ours.cut_vertices, truth.cut_vertices,
+            "graph {i}: cut vertices"
+        );
         assert_eq!(ours.bridges, truth.bridges, "graph {i}: bridges");
         let mut a = ours.components.clone();
         let mut b = truth.components.clone();
@@ -120,5 +121,8 @@ fn full_stack_on_one_network() {
     let truth = sequential::biconnected_components(&g.to_undirected());
     assert_eq!(bicc.cut_vertices, truth.cut_vertices);
     let mis = HybridMis::default().run(&g);
-    assert!(sequential::is_maximal_independent_set(&g.to_undirected(), &mis.mis));
+    assert!(sequential::is_maximal_independent_set(
+        &g.to_undirected(),
+        &mis.mis
+    ));
 }

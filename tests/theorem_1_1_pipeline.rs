@@ -27,7 +27,11 @@ fn well_formed_tree_on_every_constant_degree_topology() {
         let result = build(&g, 100);
         let tree = &result.tree;
         assert!(tree.is_valid(), "{name}: tree must be valid");
-        assert_eq!(tree.node_count(), g.node_count(), "{name}: tree must span all nodes");
+        assert_eq!(
+            tree.node_count(),
+            g.node_count(),
+            "{name}: tree must span all nodes"
+        );
         assert!(tree.max_degree() <= 4, "{name}: degree must be constant");
         let log_n = log2_ceil(g.node_count());
         assert!(
@@ -84,12 +88,16 @@ fn expander_diameter_is_logarithmic() {
 fn unusable_inputs_are_rejected() {
     let params = ExpanderParams::for_n(32);
     assert_eq!(
-        OverlayBuilder::new(params).build(&DiGraph::new(0)).unwrap_err(),
+        OverlayBuilder::new(params)
+            .build(&DiGraph::new(0))
+            .unwrap_err(),
         OverlayError::EmptyGraph
     );
     let disconnected = generators::disjoint_union(&[generators::line(16), generators::line(16)]);
     assert_eq!(
-        OverlayBuilder::new(params).build(&disconnected).unwrap_err(),
+        OverlayBuilder::new(params)
+            .build(&disconnected)
+            .unwrap_err(),
         OverlayError::Disconnected
     );
     assert!(matches!(

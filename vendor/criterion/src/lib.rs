@@ -1,0 +1,167 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_with_input`/`bench_function`, `Bencher::iter`,
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`] macros. Each
+//! benchmark runs its closure `sample_size` times after one warm-up and prints the
+//! mean wall-clock time — no statistics, plotting, or baseline storage.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"{function}/{parameter}"`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// The per-benchmark timing harness handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    group: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.name, &b);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(name, &b);
+    }
+
+    /// Prints the group's trailing separator (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, name: &str, b: &Bencher) {
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        println!(
+            "bench {:<40} {:>12.3?}/iter ({} iters)",
+            format!("{}/{name}", self.group),
+            mean,
+            b.iters
+        );
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            group: name.to_string(),
+            samples: 10,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmarks, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        // One warm-up plus five timed samples.
+        assert_eq!(runs, 6);
+        g.finish();
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the [`proptest!`] macro
+//! with a `#![proptest_config(..)]` header, integer/float range strategies, tuple
+//! strategies, [`collection::vec`], and the `prop_assert!`/`prop_assert_eq!` macros.
+//! Cases are generated from a deterministic per-test seed, so failures reproduce;
+//! there is no shrinking — the failing values are printed instead.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration (subset of the real crate's fields).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A generator of random values for one macro argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Creates a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Creates the deterministic RNG for one test case.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name so distinct tests get distinct streams.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5EED))
+}
+
+/// Runs `cases` deterministic cases of a property-test body.
+///
+/// The body receives the case RNG and is expected to generate its arguments from it;
+/// panics are augmented with the case number so failures are reproducible.
+pub fn run_cases(test_name: &str, cases: u32, body: impl Fn(&mut StdRng)) {
+    for case in 0..cases {
+        let mut rng = case_rng(test_name, case);
+        body(&mut rng);
+    }
+}
+
+/// The macro-based entry point, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(stringify!($name), config.cases, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )+
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Everything the tests `use proptest::prelude::*` for.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let a: Vec<u64> = {
+            let mut r = crate::case_rng("t", 3);
+            (0..4).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::case_rng("t", 3);
+            (0..4).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            n in 5usize..10,
+            xs in crate::collection::vec((0usize..4, 0u64..9), 0..6),
+        ) {
+            prop_assert!((5..10).contains(&n));
+            prop_assert!(xs.len() < 6);
+            for (a, b) in xs {
+                prop_assert!(a < 4 && b < 9);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small parallel-iterator subset the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — on top of `std::thread::scope`.
+//! Work is split into one contiguous chunk per available core; each worker writes its
+//! results into a disjoint region of the output, so ordering matches the input exactly
+//! (as with real rayon's indexed parallel iterators) and no unsafe code is needed.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Returns the number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator: the result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Applies `f` to every element in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    /// Runs the map on all available cores and collects the results in input order.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect::<Vec<U>>().into();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|items| scope.spawn(move || items.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect::<Vec<U>>().into()
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`rayon::prelude` trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    //! The traits needed for `x.par_iter().map(..).collect()`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..256).collect();
+        let _: Vec<()> = v
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        // With >1 core available the chunks must land on distinct worker threads.
+        if super::current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1);
+        }
+    }
+}
