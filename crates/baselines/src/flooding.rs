@@ -49,7 +49,7 @@ impl Protocol for FloodingNode {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, NodeId>, inbox: Vec<Envelope<NodeId>>) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, NodeId>, inbox: &[Envelope<NodeId>]) {
         let mut improved = false;
         for env in inbox {
             if env.payload < self.best {

@@ -99,13 +99,13 @@ impl Protocol for LubyMisNode {
         self.draw_and_send(ctx);
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, LubyMsg>, inbox: Vec<Envelope<LubyMsg>>) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, LubyMsg>, inbox: &[Envelope<LubyMsg>]) {
         if self.state != MisState::Undecided {
             return;
         }
         let mut lowest = true;
         let mut covered = false;
-        for env in &inbox {
+        for env in inbox {
             match env.payload {
                 LubyMsg::Value(v) => {
                     // Ties are broken by identifier so the comparison is a total order.
@@ -119,7 +119,7 @@ impl Protocol for LubyMisNode {
                 }
             }
         }
-        for env in &inbox {
+        for env in inbox {
             if matches!(env.payload, LubyMsg::Joined) {
                 self.active_neighbors.remove(&env.from);
             }

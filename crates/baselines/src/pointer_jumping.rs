@@ -62,7 +62,7 @@ impl Protocol for PointerJumpingNode {
         self.introduce_all(ctx);
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, IntroduceMsg>, inbox: Vec<Envelope<IntroduceMsg>>) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, IntroduceMsg>, inbox: &[Envelope<IntroduceMsg>]) {
         for env in inbox {
             self.known.insert(env.from);
             if env.payload != self.id {

@@ -562,12 +562,21 @@ pub fn e12_baselines(sizes: &[usize]) -> Vec<Row> {
 }
 
 /// E13 — fault scenarios: every registered churn/fault scenario swept over `seeds`
-/// seeds (in parallel via rayon), reporting success rate, coverage and loss accounting.
-pub fn e13_fault_scenarios(seeds: usize) -> Vec<Row> {
+/// seeds (in parallel via rayon), reporting success rate, coverage and loss
+/// accounting. With `report_dir` set, each sweep's deterministic JSON report is also
+/// persisted as `<dir>/<scenario>.json` for cross-commit regression diffs (see
+/// `overlay_scenarios::report`).
+pub fn e13_fault_scenarios(seeds: usize, report_dir: Option<&std::path::Path>) -> Vec<Row> {
     let mut rows = Vec::new();
     for scenario in overlay_scenarios::registry() {
         let sweep = overlay_scenarios::Sweep::over_seeds(scenario, 0, seeds);
         let report = sweep.run();
+        if let Some(dir) = report_dir {
+            match overlay_scenarios::report::write_report(&report, dir) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("cannot write report for {}: {e}", report.scenario.name),
+            }
+        }
         rows.push(Row {
             label: report.scenario.label(),
             values: vec![
@@ -617,7 +626,17 @@ pub fn run_all(quick: bool) {
     );
     e10_spanner(if quick { &[128] } else { &[256, 512] });
     e12_baselines(big);
-    e13_fault_scenarios(if quick { 4 } else { 16 });
+    // Only the full run persists reports: its 16-seed sweeps (seeds 0..16) are
+    // exactly the committed `reports/` baselines, while a quick 4-seed run would
+    // clobber them with truncated bodies.
+    e13_fault_scenarios(
+        if quick { 4 } else { 16 },
+        if quick {
+            None
+        } else {
+            Some(std::path::Path::new("reports"))
+        },
+    );
 }
 
 #[cfg(test)]
@@ -653,7 +672,7 @@ mod tests {
 
     #[test]
     fn e13_runs_all_scenarios_deterministically() {
-        let rows = e13_fault_scenarios(3);
+        let rows = e13_fault_scenarios(3, None);
         assert!(
             rows.len() >= 6,
             "registry shrank to {} scenarios",
@@ -670,7 +689,7 @@ mod tests {
                 );
             }
         }
-        let again = e13_fault_scenarios(3);
+        let again = e13_fault_scenarios(3, None);
         for (a, b) in rows.iter().zip(&again) {
             assert_eq!(a.values, b.values, "{} not deterministic", a.label);
         }

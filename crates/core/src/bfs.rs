@@ -108,7 +108,7 @@ impl Protocol for BfsNode {
         self.improved = false;
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, BfsMsg>, inbox: Vec<Envelope<BfsMsg>>) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, BfsMsg>, inbox: &[Envelope<BfsMsg>]) {
         if self.done {
             return;
         }

@@ -198,7 +198,7 @@ impl ExpanderNode {
         }
     }
 
-    fn ingest(&mut self, inbox: Vec<Envelope<ExpanderMsg>>) {
+    fn ingest(&mut self, inbox: &[Envelope<ExpanderMsg>]) {
         for env in inbox {
             match env.payload {
                 ExpanderMsg::Intro => self.intro_neighbors.push(env.from),
@@ -241,7 +241,7 @@ impl Protocol for ExpanderNode {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>, inbox: Vec<Envelope<ExpanderMsg>>) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>, inbox: &[Envelope<ExpanderMsg>]) {
         if self.done {
             return;
         }

@@ -53,5 +53,5 @@ pub use builder::{
 pub use error::OverlayError;
 pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};
-pub use params::ExpanderParams;
+pub use params::{ExpanderParams, RoundBudget};
 pub use wellformed::WellFormedTree;

@@ -130,6 +130,62 @@ impl ExpanderParams {
     }
 }
 
+/// A multiplier applied to every phase's round budget in
+/// [`crate::OverlayBuilder::build_under_faults`].
+///
+/// The paper's schedules are exact for a clean network, so the clean budgets leave
+/// only a round or two of slack. Under injected faults — delivery jitter holding
+/// messages back several rounds, or joiners activating deep into construction — a run
+/// can need more wall-rounds than the clean schedule even though the protocol is
+/// perfectly healthy, and judging it against the clean budget misreports it as
+/// stalled. A `RoundBudget` lets a scenario *declare* that extra allowance up front.
+///
+/// The multiplier is stored in percent (e.g. `150` = 1.5× the clean budget) so the
+/// type stays `Copy + Eq + Hash` and renders exactly in JSON reports. Budgets are
+/// applied per phase with ceiling division and never shrink a budget below the clean
+/// one, so [`RoundBudget::STANDARD`] (100%) reproduces the historical behavior
+/// bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RoundBudget {
+    percent: u32,
+}
+
+impl RoundBudget {
+    /// The clean-network budget: exactly the paper's schedule (100%).
+    pub const STANDARD: RoundBudget = RoundBudget { percent: 100 };
+
+    /// A budget of `percent`% of the clean schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent < 100`: phases cannot run on less than the clean schedule
+    /// (the protocols are round-driven and would be cut off mid-phase).
+    pub fn percent(percent: u32) -> Self {
+        assert!(
+            percent >= 100,
+            "round budget must be at least the clean schedule (100%), got {percent}%"
+        );
+        RoundBudget { percent }
+    }
+
+    /// The multiplier in percent (`100` = clean budget).
+    pub fn as_percent(&self) -> u32 {
+        self.percent
+    }
+
+    /// Scales a clean phase budget, rounding up; never below `base`.
+    pub fn apply(&self, base: usize) -> usize {
+        let scaled = (base * self.percent as usize).div_ceil(100);
+        scaled.max(base)
+    }
+}
+
+impl Default for RoundBudget {
+    fn default() -> Self {
+        RoundBudget::STANDARD
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +229,22 @@ mod tests {
         let mut p = ExpanderParams::for_n(64);
         p.ncc0_cap = 1;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn round_budget_scales_with_ceiling_and_never_shrinks() {
+        assert_eq!(RoundBudget::STANDARD.apply(37), 37);
+        assert_eq!(RoundBudget::default(), RoundBudget::STANDARD);
+        assert_eq!(RoundBudget::percent(150).apply(10), 15);
+        assert_eq!(RoundBudget::percent(150).apply(11), 17); // ceil(16.5)
+        assert_eq!(RoundBudget::percent(200).apply(0), 0);
+        assert_eq!(RoundBudget::percent(125).as_percent(), 125);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the clean schedule")]
+    fn round_budget_rejects_sub_clean_multipliers() {
+        let _ = RoundBudget::percent(99);
     }
 
     #[test]

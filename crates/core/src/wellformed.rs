@@ -275,7 +275,7 @@ impl Protocol for BinarizeNode {
         }
     }
 
-    fn on_round(&mut self, _ctx: &mut Ctx<'_, RelinkMsg>, inbox: Vec<Envelope<RelinkMsg>>) {
+    fn on_round(&mut self, _ctx: &mut Ctx<'_, RelinkMsg>, inbox: &[Envelope<RelinkMsg>]) {
         for env in inbox {
             let msg = env.payload;
             self.new_parent = msg.parent;

@@ -115,14 +115,14 @@ impl Protocol for GhaffariNode {
         self.announce(ctx);
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, GhaffariMsg>, inbox: Vec<Envelope<GhaffariMsg>>) {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, GhaffariMsg>, inbox: &[Envelope<GhaffariMsg>]) {
         if self.decision != MisDecision::Undecided {
             return;
         }
         let mut neighbor_marked = false;
         let mut effective_degree = 0.0;
         let mut covered = false;
-        for env in &inbox {
+        for env in inbox {
             match env.payload {
                 GhaffariMsg::Round { marked, desire } => {
                     if self.active_neighbors.contains(&env.from) {

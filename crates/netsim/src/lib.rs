@@ -40,7 +40,7 @@
 //!     fn on_start(&mut self, ctx: &mut Ctx<usize>) {
 //!         ctx.send_global(self.next, 0);
 //!     }
-//!     fn on_round(&mut self, ctx: &mut Ctx<usize>, inbox: Vec<Envelope<usize>>) {
+//!     fn on_round(&mut self, ctx: &mut Ctx<usize>, inbox: &[Envelope<usize>]) {
 //!         for env in inbox {
 //!             if env.payload + 1 < self.hops {
 //!                 ctx.send_global(self.next, env.payload + 1);

@@ -41,7 +41,10 @@ pub struct RoundMetrics {
 /// Aggregated communication counters for a whole run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
-    /// Number of rounds executed (including the start round).
+    /// Number of rounds recorded in `per_round`, including the start round (round 0).
+    /// Kept in lockstep with `per_round.len()` by the simulator on *every* path —
+    /// the start callback as well as each message round — so a run that ends before
+    /// its first message round (round budget 0) still reports its recorded round.
     pub rounds: usize,
     /// Per-round metrics, in order.
     pub per_round: Vec<RoundMetrics>,

@@ -41,7 +41,12 @@ pub trait Protocol {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Message>);
 
     /// Called once per round with all messages delivered at the beginning of the round.
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: Vec<Envelope<Self::Message>>);
+    ///
+    /// The inbox is a slice into the simulator's per-round envelope arena (see
+    /// [`crate::runtime::EnvelopeArena`]); it is only valid for the duration of the
+    /// callback, so implementations copy out what they keep. Messages are
+    /// `O(log n)`-bit values, so copying a payload costs the same as moving it.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: &[Envelope<Self::Message>]);
 
     /// Returns `true` once this node has terminated. The simulation stops when every
     /// node is done (or the round limit is reached).
@@ -58,7 +63,11 @@ pub struct Ctx<'a, M> {
     pub(crate) round: usize,
     pub(crate) n: usize,
     pub(crate) rng: &'a mut StdRng,
+    /// The whole round's shared outbox buffer; this node's messages start at `base`.
     pub(crate) outbox: &'a mut Vec<(NodeId, Channel, M)>,
+    /// Index into `outbox` where this node's messages begin (the buffer is shared
+    /// across all nodes of a round so it can be reused without reallocation).
+    pub(crate) base: usize,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -108,9 +117,9 @@ impl<'a, M> Ctx<'a, M> {
         self.outbox.push((to, channel, msg));
     }
 
-    /// Number of messages queued so far this round.
+    /// Number of messages queued so far this round by *this* node.
     pub fn queued(&self) -> usize {
-        self.outbox.len()
+        self.outbox.len() - self.base
     }
 }
 
@@ -129,6 +138,7 @@ mod tests {
             n: 1000,
             rng: &mut rng,
             outbox: &mut outbox,
+            base: 0,
         };
         assert_eq!(ctx.me(), NodeId::from(3usize));
         assert_eq!(ctx.round(), 5);
@@ -152,7 +162,30 @@ mod tests {
             n: 1,
             rng: &mut rng,
             outbox: &mut outbox,
+            base: 0,
         };
         assert_eq!(ctx.log_n(), 1);
+    }
+
+    #[test]
+    fn queued_counts_only_past_the_base() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Two messages queued by an earlier node of the same round.
+        let mut outbox = vec![
+            (NodeId::from(0usize), Channel::Global, 1u32),
+            (NodeId::from(0usize), Channel::Global, 2u32),
+        ];
+        let mut ctx: Ctx<'_, u32> = Ctx {
+            me: NodeId::from(1usize),
+            round: 1,
+            n: 4,
+            rng: &mut rng,
+            outbox: &mut outbox,
+            base: 2,
+        };
+        assert_eq!(ctx.queued(), 0);
+        ctx.send_global(NodeId::from(2usize), 3);
+        assert_eq!(ctx.queued(), 1);
+        assert_eq!(outbox.len(), 3);
     }
 }

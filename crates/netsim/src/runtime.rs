@@ -6,8 +6,7 @@ use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::protocol::{Channel, Ctx, Envelope, Protocol};
 use overlay_graph::NodeId;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration of a simulation run.
@@ -73,20 +72,147 @@ pub struct RunOutcome {
     pub all_done: bool,
 }
 
+/// A flat, reusable arena holding one round's envelopes, grouped per recipient.
+///
+/// The arena is the simulator's message plumbing: during dispatch it is the *staging*
+/// area (envelopes appended in routing order, tagged with their recipient), and at the
+/// start of the next round [`EnvelopeArena::group`] counting-sorts it in place so each
+/// node's inbox becomes one contiguous `(offset, len)` slice of a single buffer. The
+/// buffers are **cleared, never reallocated**, between rounds, so a steady-state round
+/// performs no per-inbox allocations at all — unlike the `Vec`-of-`Vec`s layout this
+/// replaced, which allocated `n` fresh inbox vectors every round.
+///
+/// Grouping is *stable*: two messages to the same recipient keep their staging order,
+/// which is exactly the delivery order the old nested-`Vec` layout produced. That
+/// stability is what keeps faulty runs byte-identical per seed across the refactor.
+#[derive(Debug)]
+pub struct EnvelopeArena<M> {
+    /// All envelopes of the current round; grouped by recipient after [`Self::group`].
+    buf: Vec<Envelope<M>>,
+    /// Recipient of `buf[i]`, parallel to `buf` (used only while staging/grouping).
+    to: Vec<usize>,
+    /// Per-node `(offset, len)` into `buf`, valid after [`Self::group`].
+    ranges: Vec<(usize, usize)>,
+    /// Scratch: per-node write cursors during the counting sort.
+    cursors: Vec<usize>,
+    /// Scratch: target position of each staged envelope during the in-place permute.
+    pos: Vec<usize>,
+}
+
+impl<M> EnvelopeArena<M> {
+    /// An empty arena for `n` nodes.
+    fn new(n: usize) -> Self {
+        EnvelopeArena {
+            buf: Vec::new(),
+            to: Vec::new(),
+            ranges: vec![(0, 0); n],
+            cursors: vec![0; n],
+            pos: Vec::new(),
+        }
+    }
+
+    /// Stages an envelope for recipient `to` (delivery happens after [`Self::group`]).
+    fn push(&mut self, to: NodeId, env: Envelope<M>) {
+        self.to.push(to.index());
+        self.buf.push(env);
+    }
+
+    /// Clears the staged envelopes, retaining every buffer's capacity.
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.to.clear();
+    }
+
+    /// Groups the staged envelopes by recipient with a stable in-place counting sort
+    /// and records each node's `(offset, len)` range.
+    fn group(&mut self) {
+        let total = self.buf.len();
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+        for &t in &self.to {
+            self.cursors[t] += 1;
+        }
+        let mut acc = 0usize;
+        for (range, cursor) in self.ranges.iter_mut().zip(self.cursors.iter_mut()) {
+            let count = *cursor;
+            *range = (acc, count);
+            *cursor = acc;
+            acc += count;
+        }
+        self.pos.clear();
+        for &t in &self.to {
+            let cursor = &mut self.cursors[t];
+            self.pos.push(*cursor);
+            *cursor += 1;
+        }
+        // Apply the permutation in place by chasing cycles; each element is swapped
+        // into its final position at most once, so this is O(total) swaps.
+        for i in 0..total {
+            while self.pos[i] != i {
+                let j = self.pos[i];
+                self.buf.swap(i, j);
+                self.to.swap(i, j);
+                self.pos.swap(i, j);
+            }
+        }
+    }
+
+    /// Node `i`'s inbox for the current round (valid after [`Self::group`]).
+    fn inbox(&self, i: usize) -> &[Envelope<M>] {
+        let (start, len) = self.ranges[i];
+        &self.buf[start..start + len]
+    }
+
+    /// Shrinks node `i`'s range to the envelopes whose range-relative index is *not*
+    /// marked in `drop`, preserving their relative order. Dropped envelopes linger in
+    /// the (now out-of-range) tail until the next [`Self::clear`]; they are never
+    /// observed.
+    fn retain_range(&mut self, i: usize, drop: &[bool]) {
+        let (start, len) = self.ranges[i];
+        debug_assert_eq!(drop.len(), len, "one mark per envelope in the range");
+        let mut w = start;
+        for (k, &dropped) in drop.iter().enumerate() {
+            if !dropped {
+                self.buf.swap(w, start + k);
+                w += 1;
+            }
+        }
+        self.ranges[i].1 = w - start;
+    }
+}
+
 /// A deterministic synchronous simulator executing one [`Protocol`] state machine per
 /// node.
 ///
 /// Environmental faults (message loss, delays, crashes, joins, partitions) are
 /// injected by the [`FaultRouter`] the simulator builds from
 /// [`SimConfig::faults`]; a clean plan reproduces the fault-free behavior exactly.
+///
+/// # Hot-path layout
+///
+/// All per-round message traffic flows through two flat, reusable buffers: the
+/// [`EnvelopeArena`] (inboxes, grouped per recipient by a stable counting sort) and a
+/// single shared outbox `Vec` that every node appends to behind its own base offset.
+/// Both are cleared — not reallocated — each round, so steady-state rounds are
+/// allocation-free regardless of `n` or message volume.
 #[derive(Debug)]
 pub struct Simulator<P: Protocol> {
     nodes: Vec<P>,
     rngs: Vec<StdRng>,
-    pending: Vec<Vec<Envelope<P::Message>>>,
+    /// Next round's inboxes: staged during dispatch, grouped at the start of `step`.
+    arena: EnvelopeArena<P::Message>,
+    /// The whole round's outgoing messages, all nodes back to back.
+    outbox: Vec<(NodeId, Channel, P::Message)>,
+    /// Per-node message count within `outbox` for the current round.
+    out_lens: Vec<usize>,
     caps: CapacityModel,
     local_neighbors: Option<Vec<HashSet<NodeId>>>,
     drop_rng: StdRng,
+    /// Scratch for `apply_receive_caps`: range-relative indices of global messages.
+    cap_scratch: Vec<usize>,
+    /// Scratch for `apply_receive_caps`: per-envelope drop marks for one inbox.
+    drop_mark: Vec<bool>,
+    /// Scratch for `dispatch`: per-edge CONGEST counters of the current sender.
+    per_edge: HashMap<NodeId, usize>,
     router: FaultRouter<P::Message>,
     metrics: RunMetrics,
     round: usize,
@@ -122,10 +248,15 @@ impl<P: Protocol> Simulator<P> {
         Simulator {
             nodes,
             rngs,
-            pending: (0..n).map(|_| Vec::new()).collect(),
+            arena: EnvelopeArena::new(n),
+            outbox: Vec::new(),
+            out_lens: vec![0; n],
             caps: config.caps,
             local_neighbors,
             drop_rng: StdRng::seed_from_u64(config.seed.wrapping_add(1)),
+            cap_scratch: Vec::new(),
+            drop_mark: Vec::new(),
+            per_edge: HashMap::new(),
             router: FaultRouter::new(&config.faults, n, config.seed),
             metrics: RunMetrics::new(n),
             round: 0,
@@ -212,18 +343,18 @@ impl<P: Protocol> Simulator<P> {
         self.round += 1;
         let round = self.round;
 
-        let mut inboxes: Vec<Vec<Envelope<P::Message>>> =
-            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
         // Delayed messages surface in their scheduled round; liveness of the
         // recipient at this round was already checked when they were routed.
         for (to, env) in self.router.take_due(round) {
-            inboxes[to.index()].push(env);
+            self.arena.push(to, env);
         }
+        self.arena.group();
 
         let mut round_metrics = RoundMetrics::default();
         self.router.record_lifecycle(round, &mut round_metrics);
-        self.apply_receive_caps(&mut inboxes, &mut round_metrics);
-        for inbox in &inboxes {
+        self.apply_receive_caps(&mut round_metrics);
+        for i in 0..n {
+            let inbox = self.arena.inbox(i);
             round_metrics.max_received = round_metrics.max_received.max(inbox.len());
             let globals = inbox
                 .iter()
@@ -233,33 +364,37 @@ impl<P: Protocol> Simulator<P> {
             round_metrics.delivered += inbox.len();
         }
 
-        let mut all_outboxes: Vec<Vec<(NodeId, Channel, P::Message)>> = Vec::with_capacity(n);
-        for (i, inbox) in inboxes.into_iter().enumerate() {
-            let mut outbox = Vec::new();
+        self.outbox.clear();
+        for i in 0..n {
+            let base = self.outbox.len();
             if self.router.is_active(i, round) {
                 let mut ctx = Ctx {
                     me: NodeId::from(i),
                     round,
                     n,
                     rng: &mut self.rngs[i],
-                    outbox: &mut outbox,
+                    outbox: &mut self.outbox,
+                    base,
                 };
                 if self.router.joins_at(i, round) {
                     // The node's first round: it runs its start callback with the
                     // initial knowledge its protocol state was built with. Its inbox
                     // is empty: the router drops (and counts) messages that would
                     // land on the join round itself.
-                    debug_assert!(inbox.is_empty(), "join-round inboxes are empty");
+                    debug_assert!(
+                        self.arena.inbox(i).is_empty(),
+                        "join-round inboxes are empty"
+                    );
                     self.nodes[i].on_start(&mut ctx);
                 } else {
-                    self.nodes[i].on_round(&mut ctx, inbox);
+                    self.nodes[i].on_round(&mut ctx, self.arena.inbox(i));
                 }
             }
-            all_outboxes.push(outbox);
+            self.out_lens[i] = self.outbox.len() - base;
         }
-        self.dispatch(all_outboxes, &mut round_metrics);
-        self.metrics.rounds = self.round;
+        self.dispatch(&mut round_metrics);
         self.metrics.per_round.push(round_metrics);
+        self.metrics.rounds = self.metrics.per_round.len();
     }
 
     fn ensure_started(&mut self) {
@@ -270,9 +405,9 @@ impl<P: Protocol> Simulator<P> {
         let n = self.nodes.len();
         let mut round_metrics = RoundMetrics::default();
         self.router.record_lifecycle(0, &mut round_metrics);
-        let mut all_outboxes: Vec<Vec<(NodeId, Channel, P::Message)>> = Vec::with_capacity(n);
+        self.outbox.clear();
         for i in 0..n {
-            let mut outbox = Vec::new();
+            let base = self.outbox.len();
             // Late joiners and nodes crashed from round 0 do not start now; a
             // joiner's start callback runs at its join round instead.
             if self.router.is_active(i, 0) {
@@ -281,14 +416,16 @@ impl<P: Protocol> Simulator<P> {
                     round: 0,
                     n,
                     rng: &mut self.rngs[i],
-                    outbox: &mut outbox,
+                    outbox: &mut self.outbox,
+                    base,
                 };
                 self.nodes[i].on_start(&mut ctx);
             }
-            all_outboxes.push(outbox);
+            self.out_lens[i] = self.outbox.len() - base;
         }
-        self.dispatch(all_outboxes, &mut round_metrics);
+        self.dispatch(&mut round_metrics);
         self.metrics.per_round.push(round_metrics);
+        self.metrics.rounds = self.metrics.per_round.len();
     }
 
     /// Applies the per-node receive cap for global messages at delivery time (local
@@ -296,57 +433,70 @@ impl<P: Protocol> Simulator<P> {
     /// subset of size `cap` is kept, the rest is dropped ("arbitrary subset" in the
     /// paper). Applying the cap at delivery rather than at send time means injected
     /// delays cannot be used to smuggle extra messages past the cap.
-    fn apply_receive_caps(
-        &mut self,
-        inboxes: &mut [Vec<Envelope<P::Message>>],
-        round_metrics: &mut RoundMetrics,
-    ) {
+    ///
+    /// The kept subset is chosen by a partial Fisher–Yates over the global messages
+    /// of the in-arena inbox slice: only the selection steps that decide the dropped
+    /// tail move elements, while the remaining draws are still made so the RNG stream
+    /// stays identical to a full `SliceRandom::shuffle` — which keeps every seeded
+    /// run byte-identical to the pre-arena implementation. No per-inbox `Vec` or
+    /// `HashSet` is allocated; the two scratch buffers are reused across rounds.
+    fn apply_receive_caps(&mut self, round_metrics: &mut RoundMetrics) {
         let Some(cap) = self.caps.global_cap() else {
             return;
         };
-        for inbox in inboxes.iter_mut() {
-            let global_count = inbox
-                .iter()
-                .filter(|e| e.channel == Channel::Global)
-                .count();
+        for i in 0..self.nodes.len() {
+            self.cap_scratch.clear();
+            let (start, len) = self.arena.ranges[i];
+            for (k, env) in self.arena.buf[start..start + len].iter().enumerate() {
+                if env.channel == Channel::Global {
+                    self.cap_scratch.push(k);
+                }
+            }
+            let global_count = self.cap_scratch.len();
             if global_count <= cap {
                 continue;
             }
-            let mut global_indices: Vec<usize> = inbox
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.channel == Channel::Global)
-                .map(|(idx, _)| idx)
-                .collect();
-            global_indices.shuffle(&mut self.drop_rng);
-            let drop_set: HashSet<usize> = global_indices[cap..].iter().copied().collect();
-            round_metrics.dropped_receive += drop_set.len();
-            let mut idx = 0usize;
-            inbox.retain(|_| {
-                let keep = !drop_set.contains(&idx);
-                idx += 1;
-                keep
-            });
+            // Partial Fisher–Yates: after the first `global_count - cap` steps the
+            // tail (positions `cap..`) is final; the later steps only permute the
+            // kept prefix, so their swaps are skipped but their draws are kept to
+            // preserve the historical RNG stream.
+            for k in (1..global_count).rev() {
+                let j = self.drop_rng.gen_range(0..k + 1);
+                if k >= cap {
+                    self.cap_scratch.swap(k, j);
+                }
+            }
+            self.drop_mark.clear();
+            self.drop_mark.resize(len, false);
+            for &k in &self.cap_scratch[cap..] {
+                self.drop_mark[k] = true;
+            }
+            round_metrics.dropped_receive += global_count - cap;
+            self.arena.retain_range(i, &self.drop_mark);
         }
     }
 
     /// Applies send-side caps and routes every surviving message through the fault
-    /// router, which enqueues it for the next round, delays it, or drops it.
-    fn dispatch(
-        &mut self,
-        all_outboxes: Vec<Vec<(NodeId, Channel, P::Message)>>,
-        round_metrics: &mut RoundMetrics,
-    ) {
+    /// router, which enqueues it for the next round (staged in the arena), delays
+    /// it, or drops it.
+    fn dispatch(&mut self, round_metrics: &mut RoundMetrics) {
         let n = self.nodes.len();
         let global_send_cap = self.caps.global_cap();
         let local_edge_cap = self.caps.local_edge_cap();
 
-        for (i, outbox) in all_outboxes.into_iter().enumerate() {
+        // The arena's current contents were consumed by the protocol callbacks;
+        // recycle it as the staging area for the next round's deliveries.
+        self.arena.clear();
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut messages = outbox.drain(..);
+        for i in 0..n {
             let sender = NodeId::from(i);
             let mut global_sent = 0usize;
             let mut total_sent = 0usize;
-            let mut per_edge: HashMap<NodeId, usize> = HashMap::new();
-            for (to, channel, payload) in outbox {
+            if !self.per_edge.is_empty() {
+                self.per_edge.clear();
+            }
+            for (to, channel, payload) in messages.by_ref().take(self.out_lens[i]) {
                 if to.index() >= n {
                     round_metrics.dropped_send += 1;
                     continue;
@@ -362,7 +512,7 @@ impl<P: Protocol> Simulator<P> {
                         };
                         let under_edge_cap = match local_edge_cap {
                             Some(cap) => {
-                                let count = per_edge.entry(to).or_insert(0);
+                                let count = self.per_edge.entry(to).or_insert(0);
                                 *count < cap
                             }
                             None => true,
@@ -375,7 +525,7 @@ impl<P: Protocol> Simulator<P> {
                     continue;
                 }
                 if channel == Channel::Local {
-                    *per_edge.entry(to).or_insert(0) += 1;
+                    *self.per_edge.entry(to).or_insert(0) += 1;
                 }
                 if channel == Channel::Global {
                     global_sent += 1;
@@ -391,7 +541,7 @@ impl<P: Protocol> Simulator<P> {
                     payload,
                 };
                 match self.router.route(sender, to, self.round) {
-                    Route::Deliver => self.pending[to.index()].push(env),
+                    Route::Deliver => self.arena.push(to, env),
                     Route::Delay(deliver_round) => {
                         round_metrics.delayed += 1;
                         self.router.buffer(deliver_round, to, env);
@@ -404,6 +554,9 @@ impl<P: Protocol> Simulator<P> {
             round_metrics.max_sent = round_metrics.max_sent.max(total_sent);
             round_metrics.max_global_sent = round_metrics.max_global_sent.max(global_sent);
         }
+        drop(messages);
+        // Hand the (drained, capacity-retaining) buffer back for the next round.
+        self.outbox = outbox;
         // Receive caps are applied at delivery time (see `apply_receive_caps`).
     }
 }
@@ -430,7 +583,7 @@ mod tests {
             }
         }
 
-        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Vec<Envelope<u32>>) {
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
             self.received += inbox.len();
             if ctx.round() < self.rounds {
                 for k in 0..self.fan_out {
@@ -531,7 +684,7 @@ mod tests {
                 ctx.send_local(self.target, 1);
             }
         }
-        fn on_round(&mut self, _ctx: &mut Ctx<'_, u8>, inbox: Vec<Envelope<u8>>) {
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u8>, inbox: &[Envelope<u8>]) {
             self.received += inbox.len();
         }
     }
@@ -580,6 +733,51 @@ mod tests {
         assert_eq!(sim.node(NodeId::from(0usize)).received, 0);
         // Copies over capacity: 4 from node 0, 2 from node 1, 1 from node 2.
         assert!(sim.metrics().total_dropped_send() >= 7);
+    }
+
+    #[test]
+    fn arena_groups_stably_by_recipient() {
+        let env = |from: usize, payload: u32| Envelope {
+            from: NodeId::from(from),
+            channel: Channel::Global,
+            payload,
+        };
+        let mut arena: EnvelopeArena<u32> = EnvelopeArena::new(3);
+        // Interleaved staging order, as dispatch produces it.
+        arena.push(NodeId::from(2usize), env(0, 10));
+        arena.push(NodeId::from(0usize), env(1, 11));
+        arena.push(NodeId::from(2usize), env(1, 12));
+        arena.push(NodeId::from(0usize), env(2, 13));
+        arena.push(NodeId::from(2usize), env(2, 14));
+        arena.group();
+        fn payloads(arena: &EnvelopeArena<u32>, i: usize) -> Vec<u32> {
+            arena.inbox(i).iter().map(|e| e.payload).collect()
+        }
+        assert_eq!(payloads(&arena, 0), vec![11, 13]);
+        assert_eq!(payloads(&arena, 1), Vec::<u32>::new());
+        assert_eq!(payloads(&arena, 2), vec![10, 12, 14]);
+        // Dropping the middle of an inbox preserves the order of the rest.
+        arena.retain_range(2, &[false, true, false]);
+        assert_eq!(payloads(&arena, 2), vec![10, 14]);
+        // Clearing retains nothing but keeps the arena usable.
+        arena.clear();
+        arena.group();
+        assert!((0..3).all(|i| arena.inbox(i).is_empty()));
+    }
+
+    #[test]
+    fn metrics_rounds_is_consistent_across_start_and_step() {
+        // A zero-budget run executes only the start callback: exactly one round of
+        // metrics is recorded and `rounds` agrees with it instead of staying stale.
+        let mut sim = Simulator::new(flooders(4, 1, 2), SimConfig::default());
+        let outcome = sim.run(0);
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(sim.metrics().per_round.len(), 1);
+        assert_eq!(sim.metrics().rounds, 1);
+        // Each message round adds one recorded round and keeps the two in lockstep.
+        sim.step();
+        assert_eq!(sim.metrics().per_round.len(), 2);
+        assert_eq!(sim.metrics().rounds, 2);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Runs fault-scenario sweeps and persists their JSON reports under `reports/`.
+//!
+//! ```text
+//! cargo run --release -p overlay-scenarios --bin sweep_runner [OPTIONS] [SCENARIO...]
+//!
+//!   --seeds N       seeds per scenario (default 16)
+//!   --first-seed S  first seed of the range (default 0)
+//!   --dir PATH      output directory (default reports)
+//!   --check         diff each new report against the existing file before
+//!                   overwriting; exit 1 if any deterministic value changed
+//!   SCENARIO...     registry names to run (default: the whole registry)
+//! ```
+//!
+//! Reports are deterministic per `(scenario, seed set)`, so committing `reports/`
+//! and running with `--check` turns any behavior change into a named, per-seed,
+//! per-counter diff.
+
+use overlay_scenarios::{registry, report, Scenario, Sweep};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    seeds: usize,
+    first_seed: u64,
+    dir: PathBuf,
+    check: bool,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seeds: 16,
+        first_seed: 0,
+        dir: PathBuf::from("reports"),
+        check: false,
+        names: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--first-seed" => {
+                opts.first_seed = value("--first-seed")?
+                    .parse()
+                    .map_err(|e| format!("--first-seed: {e}"))?
+            }
+            "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            "--check" => opts.check = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
+                            [--check] [SCENARIO...]"
+                        .into(),
+                )
+            }
+            name if !name.starts_with('-') => opts.names.push(name.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected(opts: &Options) -> Result<Vec<Scenario>, String> {
+    if opts.names.is_empty() {
+        return Ok(registry());
+    }
+    opts.names
+        .iter()
+        .map(|name| {
+            overlay_scenarios::find(name)
+                .ok_or_else(|| format!("unknown scenario {name:?}; known: {}", known_names()))
+        })
+        .collect()
+}
+
+fn known_names() -> String {
+    registry()
+        .iter()
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = match selected(&opts) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions = 0usize;
+    for scenario in scenarios {
+        let sweep = Sweep::over_seeds(scenario, opts.first_seed, opts.seeds);
+        let result = sweep.run();
+        println!("{}", result.summary());
+
+        let path = opts.dir.join(format!("{}.json", result.scenario.name));
+        let mut regressed = false;
+        if opts.check {
+            if !path.exists() {
+                // A missing baseline must fail the check: treating it as success
+                // would make the regression gate silently inert (e.g. a baseline
+                // directory that was never committed, or a renamed scenario).
+                regressed = true;
+                eprintln!(
+                    "  no baseline at {}; run without --check to create it",
+                    path.display()
+                );
+            } else {
+                match report::load_report(&path) {
+                    Ok(previous) => {
+                        let diffs = report::diff_reports(&previous, &result.to_json());
+                        if !diffs.is_empty() {
+                            regressed = true;
+                            eprintln!(
+                                "  {} changed vs {} ({} difference(s)):",
+                                result.scenario.name,
+                                path.display(),
+                                diffs.len()
+                            );
+                            for line in diffs.iter().take(20) {
+                                eprintln!("    {line}");
+                            }
+                            if diffs.len() > 20 {
+                                eprintln!("    ... and {} more", diffs.len() - 20);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("  cannot read previous report: {e}");
+                        regressed = true;
+                    }
+                }
+            }
+        }
+        if regressed {
+            // Keep the baseline (or its absence) intact so the failure stays
+            // reproducible; the intended-change workflow (rerun without --check,
+            // commit) still works.
+            regressions += 1;
+        } else if let Err(e) = report::write_report(&result, &opts.dir) {
+            eprintln!("  cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("{regressions} scenario(s) changed behavior");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,22 +1,33 @@
-//! A minimal JSON writer — just enough for the sweep reports, with no external
-//! dependency (the build container vendors its crates).
+//! A minimal JSON writer and parser — just enough for the sweep reports and their
+//! cross-run diffs, with no external dependency (the build container vendors its
+//! crates).
 
 use std::fmt::Write;
 
 /// A JSON value under construction.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Json {
     /// A string (escaped on render).
     Str(String),
-    /// A float rendered with up to 6 significant decimals.
+    /// A float rendered with the shortest decimal string that round-trips to the
+    /// same `f64` (Rust's `Display`), so no nonzero value ever collapses to `"0"`
+    /// and no precision is silently lost. Non-finite values render as `null`.
     Num(f64),
     /// An integer rendered exactly.
     Int(i64),
+    /// An unsigned integer rendered exactly (JSON integers are arbitrary-precision
+    /// text, so values above `i64::MAX` — e.g. sweep seeds near `u64::MAX` — must
+    /// not be squeezed through `i64`).
+    UInt(u64),
     /// A boolean.
     Bool(bool),
     /// An ordered object.
     Obj(Vec<(String, Json)>),
     /// An array.
     Arr(Vec<Json>),
+    /// The `null` literal (only produced by the parser; the writer emits it for
+    /// non-finite floats).
+    Null,
 }
 
 impl Json {
@@ -49,15 +60,22 @@ impl Json {
             Json::Str(s) => write_escaped(out, s),
             Json::Num(x) => {
                 if x.is_finite() {
-                    // Trim trailing zeros for stable, compact output.
-                    let s = format!("{x:.6}");
-                    let s = s.trim_end_matches('0').trim_end_matches('.');
-                    out.push_str(if s.is_empty() { "0" } else { s });
+                    // Shortest round-trip formatting; `-0.0` is normalized to `0`
+                    // so equal-valued reports stay byte-identical.
+                    if *x == 0.0 {
+                        out.push('0');
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
                 } else {
                     out.push_str("null");
                 }
             }
+            Json::Null => out.push_str("null"),
             Json::Int(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::UInt(x) => {
                 let _ = write!(out, "{x}");
             }
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -128,6 +146,238 @@ fn write_items(
     out.push(close);
 }
 
+impl Json {
+    /// Parses a JSON document (the subset this module writes: objects, arrays,
+    /// strings with escapes, numbers, booleans, `null`).
+    ///
+    /// Numbers without a fraction or exponent parse as [`Json::Int`] when they fit
+    /// an `i64`, as [`Json::UInt`] when they only fit a `u64`, and as [`Json::Num`]
+    /// otherwise, so every integer a writer can produce reparses exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.at));
+        }
+        Ok(value)
+    }
+}
+
+/// A recursive-descent parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.at) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.at))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.at) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.at)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.at += 1; // past the 'u'
+                            let code = self.hex4()?;
+                            // Surrogate pairs are not produced by the writer but are
+                            // decoded anyway for robustness.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(format!("lone high surrogate at byte {}", self.at));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate not followed by a low surrogate at byte {}",
+                                        self.at
+                                    ));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("invalid \\u escape ending at byte {}", self.at)
+                            })?);
+                            // hex4 advanced past the digits; skip the final += 1.
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.at)),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences are copied through verbatim.
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.at))?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits starting at the current position (the caller
+    /// has already consumed the `\u` prefix).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .bytes
+            .get(self.at..self.at + 4)
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.at))?;
+        let s = std::str::from_utf8(digits)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.at))?;
+        let code = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.at))?;
+        self.at += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.bytes.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        let mut fractional = false;
+        while let Some(&b) = self.bytes.get(self.at) {
+            match b {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ASCII by scan");
+        if !fractional {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            // Integers above i64::MAX (e.g. u64 sweep seeds) stay exact.
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -181,5 +431,112 @@ mod tests {
         assert_eq!(Json::Num(1.0).render(), "1");
         assert_eq!(Json::Num(0.5).render(), "0.5");
         assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn tiny_and_precise_floats_survive_rendering() {
+        // Regression: the old fixed-6-decimals formatting rendered any nonzero
+        // value below 5e-7 as "0" and rounded everything else to 6 decimals.
+        assert_eq!(Json::Num(5e-7).render(), "0.0000005");
+        assert_eq!(Json::Num(-5e-7).render(), "-0.0000005");
+        assert_eq!(Json::Num(1.0 / 3.0).render(), "0.3333333333333333");
+        assert_eq!(Json::Num(-0.0).render(), "0");
+        // Shortest round-trip: parsing the rendered text recovers the exact bits.
+        for x in [5e-7, -5e-7, 1.0 / 3.0, 0.1 + 0.2, 123456.789012345] {
+            let rendered = Json::Num(x).render();
+            assert_eq!(rendered.parse::<f64>().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = Json::obj(vec![
+            (
+                "escapes",
+                Json::Str("a\"b\\c\nd\te\rf\u{1}g — ünïcode".into()),
+            ),
+            ("tiny", Json::Num(5e-7)),
+            ("negative", Json::Num(-0.25)),
+            ("int", Json::Int(-42)),
+            ("big", Json::Int(i64::MAX)),
+            ("flag", Json::Bool(false)),
+            ("nan", Json::Num(f64::NAN)),
+            (
+                "nested",
+                Json::Arr(vec![
+                    Json::obj(vec![("k", Json::Str(String::new()))]),
+                    Json::Arr(vec![]),
+                    Json::obj(vec![]),
+                ]),
+            ),
+        ]);
+        for rendered in [v.render(), v.render_pretty()] {
+            let parsed = Json::parse(&rendered).expect("writer output parses");
+            // NaN renders as null, so compare via a second render.
+            assert_eq!(parsed.render(), v.render());
+        }
+    }
+
+    #[test]
+    fn parser_classifies_ints_and_floats() {
+        assert_eq!(Json::parse("17").unwrap(), Json::Int(17));
+        assert_eq!(Json::parse("-17").unwrap(), Json::Int(-17));
+        assert_eq!(Json::parse("17.5").unwrap(), Json::Num(17.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+    }
+
+    #[test]
+    fn parser_decodes_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9""#).unwrap(),
+            Json::Str("A\u{e9}".into())
+        );
+        // A non-BMP character escaped the standard JSON way (UTF-16 surrogates).
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\ud83dx""#).is_err(), "unpaired surrogate");
+        // A high surrogate followed by a non-surrogate escape must be an error,
+        // not an arithmetic underflow.
+        assert!(
+            Json::parse(r#""\ud83dA""#).is_err(),
+            "high surrogate + raw char"
+        );
+        assert!(
+            Json::parse(r#""\ud83d\u0041""#).is_err(),
+            "high surrogate + BMP escape"
+        );
+    }
+
+    #[test]
+    fn u64_values_render_and_reparse_exactly() {
+        let max = u64::MAX;
+        assert_eq!(Json::UInt(max).render(), "18446744073709551615");
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(max)
+        );
+        // Values that fit i64 keep parsing as Int (render-identical either way).
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::UInt(42).render(), Json::Int(42).render());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "{\"a\" 1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }

@@ -20,10 +20,22 @@
 //! 1. If the failure mode is new, add a variant to [`FaultSpec`] and lower it to a
 //!    [`overlay_netsim::FaultPlan`] in [`FaultSpec::lower`] — keep every random choice
 //!    derived from the `seed` argument so reruns are reproducible.
-//! 2. Append a `Scenario { name, description, family, n, capacity, faults }` entry to
-//!    [`registry`]. Names are kebab-case and unique; the registry test enforces this.
-//! 3. There is no step 3: sweeps, aggregation, JSON reports and the experiments
-//!    binary pick the new entry up automatically.
+//! 2. Append a `Scenario { name, description, family, n, capacity, faults,
+//!    round_budget }` entry to [`registry`]. Names are kebab-case and unique; the
+//!    registry test enforces this. Declare a [`RoundBudget`] above
+//!    [`RoundBudget::STANDARD`] only when the fault model legitimately stretches
+//!    wall-rounds (delivery jitter, late joins).
+//! 3. There is no step 3: sweeps, aggregation, JSON reports, persisted
+//!    `reports/<name>.json` files and the experiments binary pick the new entry up
+//!    automatically.
+//!
+//! # Persisted reports
+//!
+//! [`report::write_report`] saves a sweep's deterministic JSON body under
+//! `reports/<scenario>.json`; [`report::diff_reports`] compares two such documents
+//! structurally for cross-commit regression checks (see the `sweep_runner` binary,
+//! which runs the whole registry, persists every report, and optionally `--check`s
+//! against the previous ones).
 //!
 //! # Determinism
 //!
@@ -35,11 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod json;
+pub mod json;
 mod registry;
+pub mod report;
 mod scenario;
 mod sweep;
 
+pub use json::Json;
+pub use overlay_core::RoundBudget;
 pub use registry::{find, registry};
 pub use scenario::{CapacityProfile, FaultSpec, GraphFamily, RunRecord, Scenario};
 pub use sweep::{Sweep, SweepReport};

@@ -1,6 +1,7 @@
 //! The built-in named scenarios.
 
 use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario};
+use overlay_core::RoundBudget;
 
 /// Returns the built-in scenarios, clean baselines first.
 ///
@@ -16,6 +17,7 @@ pub fn registry() -> Vec<Scenario> {
             n: 128,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "clean-expander",
@@ -24,6 +26,7 @@ pub fn registry() -> Vec<Scenario> {
             n: 128,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "lossy-ncc0",
@@ -33,6 +36,7 @@ pub fn registry() -> Vec<Scenario> {
             n: 128,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Lossy { drop_prob: 0.002 },
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "lossy-ncc0-heavy",
@@ -42,6 +46,7 @@ pub fn registry() -> Vec<Scenario> {
             n: 128,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "delay-jitter",
@@ -53,6 +58,13 @@ pub fn registry() -> Vec<Scenario> {
                 delay_prob: 0.25,
                 max_delay: 3,
             },
+            // Deliberately the clean budget: a jitter stall is *protocol*-terminated
+            // (nodes flag done on schedule and the run stops, stranding delayed
+            // messages), so no round-budget multiplier can buy the lost messages
+            // back — this scenario documents that collapse mode. Budgets help where
+            // completion is *pending* (late joiners keeping `all_done` false), as in
+            // `join-churn` below.
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "mid-build-crash-wave",
@@ -64,6 +76,7 @@ pub fn registry() -> Vec<Scenario> {
                 fraction: 0.10,
                 at: 0.33,
             },
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "join-churn",
@@ -76,6 +89,7 @@ pub fn registry() -> Vec<Scenario> {
                 fraction: 0.15,
                 spread: 0.40,
             },
+            round_budget: RoundBudget::percent(150),
         },
         Scenario {
             name: "partition-heal",
@@ -88,6 +102,7 @@ pub fn registry() -> Vec<Scenario> {
                 from: 0.20,
                 heal: 0.50,
             },
+            round_budget: RoundBudget::STANDARD,
         },
         Scenario {
             name: "tight-caps",
@@ -96,6 +111,7 @@ pub fn registry() -> Vec<Scenario> {
             n: 128,
             capacity: CapacityProfile::Tight,
             faults: FaultSpec::Clean,
+            round_budget: RoundBudget::STANDARD,
         },
     ]
 }

@@ -1,6 +1,6 @@
 //! The declarative scenario type and its lowering into concrete runs.
 
-use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder};
+use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder, RoundBudget};
 use overlay_graph::{generators, DiGraph, NodeId};
 use overlay_netsim::FaultPlan;
 use rand::rngs::StdRng;
@@ -231,6 +231,11 @@ pub struct Scenario {
     pub capacity: CapacityProfile,
     /// The fault load.
     pub faults: FaultSpec,
+    /// The per-phase round-budget multiplier the pipeline runs under. Faulty
+    /// scenarios whose fault model legitimately stretches wall-rounds (delivery
+    /// jitter, late joins) declare extra allowance here instead of being judged
+    /// against the clean schedule; [`RoundBudget::STANDARD`] is the paper's budget.
+    pub round_budget: RoundBudget,
 }
 
 /// The outcome of one `(scenario, seed)` run.
@@ -238,6 +243,9 @@ pub struct Scenario {
 pub struct RunRecord {
     /// The seed this run used.
     pub seed: u64,
+    /// The round-budget multiplier (percent of the clean schedule) this run was
+    /// granted; `100` is the clean budget.
+    pub round_budget_percent: u32,
     /// Pipeline completed *and* the tree is valid over the nodes alive at the end.
     pub success: bool,
     /// Pipeline produced a tree at all (may be invalid over the survivors).
@@ -284,6 +292,7 @@ impl Scenario {
         let g = self.family.build(n, seed ^ 0x6EED_5EED);
         let plan = self.faults.lower(n, &params, seed);
         let report = OverlayBuilder::new(params)
+            .with_round_budget(self.round_budget)
             .build_under_faults(&g, &plan)
             .expect("registry scenarios produce valid inputs");
         let (tree_height, tree_degree) = report
@@ -293,6 +302,7 @@ impl Scenario {
             .unwrap_or((0, 0));
         RunRecord {
             seed,
+            round_budget_percent: self.round_budget.as_percent(),
             success: report.is_success(),
             completed: report.result.is_some(),
             coverage: report.coverage(n),
@@ -418,6 +428,7 @@ mod tests {
             n: 48,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
+            round_budget: RoundBudget::STANDARD,
         };
         let r = s.run(3);
         assert!(r.success && r.completed);
@@ -436,6 +447,7 @@ mod tests {
             n: 48,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
+            round_budget: RoundBudget::percent(125),
         };
         assert_eq!(s.run(11), s.run(11));
     }

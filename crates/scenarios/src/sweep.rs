@@ -17,10 +17,17 @@ pub struct Sweep {
 
 impl Sweep {
     /// A sweep over `count` consecutive seeds starting at `first_seed`.
+    ///
+    /// Seeds wrap around `u64::MAX` deliberately (`wrapping_add`), so the seed set
+    /// is always exactly `count` *distinct* seeds for any `first_seed`: the old
+    /// unchecked `first_seed + i` panicked in debug builds and silently depended on
+    /// release-mode wrapping near the top of the range.
     pub fn over_seeds(scenario: Scenario, first_seed: u64, count: usize) -> Self {
         Sweep {
             scenario,
-            seeds: (0..count as u64).map(|i| first_seed + i).collect(),
+            seeds: (0..count as u64)
+                .map(|i| first_seed.wrapping_add(i))
+                .collect(),
         }
     }
 
@@ -127,6 +134,10 @@ impl SweepReport {
                 "faults",
                 Json::Str(self.scenario.faults.label().to_string()),
             ),
+            (
+                "round_budget_percent",
+                Json::Int(self.scenario.round_budget.as_percent() as i64),
+            ),
             ("seeds", Json::Int(self.records.len() as i64)),
             ("success_rate", Json::Num(self.success_rate())),
             ("mean_coverage", Json::Num(self.mean_coverage())),
@@ -169,7 +180,13 @@ impl SweepReport {
 
 fn record_json(r: &RunRecord) -> Json {
     Json::obj(vec![
-        ("seed", Json::Int(r.seed as i64)),
+        // Seeds span the full u64 range (`Sweep::over_seeds` wraps deliberately),
+        // so they must not be squeezed through i64.
+        ("seed", Json::UInt(r.seed)),
+        (
+            "round_budget_percent",
+            Json::Int(r.round_budget_percent as i64),
+        ),
         ("success", Json::Bool(r.success)),
         ("completed", Json::Bool(r.completed)),
         ("coverage", Json::Num(r.coverage)),
@@ -231,7 +248,7 @@ mod tests {
 
     #[test]
     fn json_report_carries_every_seed() {
-        let sweep = Sweep::over_seeds(find("delay-jitter").unwrap(), 7, 3);
+        let sweep = Sweep::over_seeds(find("join-churn").unwrap(), 7, 3);
         let rendered = sweep.run().to_json_string();
         for seed in 7..10 {
             assert!(
@@ -240,5 +257,29 @@ mod tests {
             );
         }
         assert!(rendered.contains("\"success_rate\""));
+        assert!(rendered.contains("\"round_budget_percent\": 150"));
+    }
+
+    #[test]
+    fn over_seeds_wraps_instead_of_overflowing() {
+        // Regression: `first_seed + i` panicked in debug builds near u64::MAX and
+        // relied on silent release-mode wrapping. The wrap is now deliberate and
+        // the seeds stay distinct.
+        let sweep = Sweep::over_seeds(find("clean-line").unwrap(), u64::MAX - 1, 4);
+        assert_eq!(sweep.seeds, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        let mut unique = sweep.seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "wrapped seed ranges must stay distinct");
+    }
+
+    #[test]
+    fn json_report_round_trips_through_the_parser() {
+        let report = Sweep::over_seeds(find("lossy-ncc0").unwrap(), 3, 3).run();
+        for rendered in [report.to_json().render(), report.to_json_string()] {
+            let parsed = Json::parse(&rendered).expect("report JSON parses");
+            // Integral floats reparse as ints; rendered form is the identity.
+            assert_eq!(parsed.render(), report.to_json().render());
+        }
     }
 }

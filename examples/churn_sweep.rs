@@ -10,7 +10,7 @@
 //! `cargo run --release --example churn_sweep join-churn 32`. Available scenarios
 //! are listed by passing `list`.
 
-use overlay_networks::scenarios::{registry, Sweep};
+use overlay_networks::scenarios::{registry, report, Sweep};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -40,6 +40,13 @@ fn main() {
     );
 
     eprintln!("# {}", parallel.summary());
+    // Ad-hoc runs land next to — not on top of — the committed 16-seed regression
+    // baselines in `reports/`, which only `sweep_runner` (and the full experiments
+    // run) regenerate.
+    match report::write_report(&parallel, "reports/adhoc") {
+        Ok(path) => eprintln!("# report persisted to {}", path.display()),
+        Err(e) => eprintln!("# could not persist report: {e}"),
+    }
     eprintln!(
         "# sequential wall: {:?}; parallel wall: {:?} on {} worker(s) — speedup scales \
          with cores, this machine has {}",

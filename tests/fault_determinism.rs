@@ -43,8 +43,8 @@ impl Protocol for Chatter {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: Vec<Envelope<u32>>) {
-        for env in &inbox {
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
+        for env in inbox {
             self.received_from.push(env.from.index());
         }
         if ctx.round() < self.rounds {
@@ -177,6 +177,49 @@ proptest! {
         // on the exact drop count; allow the rare tie on totals but require the
         // detailed metrics to differ.
         prop_assert!(a != b);
+    }
+
+    #[test]
+    fn dropped_receive_equals_the_per_round_overflow(
+        n in 8usize..24,
+        fan_out in 1usize..4,
+        cap in 2usize..40,
+        seed in 0u64..10_000,
+    ) {
+        // Every node beams `fan_out` global messages at node 0 each round, so node
+        // 0's pre-cap inbox holds exactly `n * fan_out` globals in every message
+        // round and nobody else receives anything. The arena-based cap logic must
+        // drop exactly the overflow: sum over inboxes of max(0, globals - cap).
+        let rounds = 6usize;
+        let config = SimConfig {
+            caps: CapacityModel::Ncc0 { per_round: cap },
+            seed,
+            local_edges: None,
+            faults: FaultPlan::default(),
+        };
+        let mut sim = Simulator::new(chatters(n, fan_out, rounds, true), config);
+        sim.run(40);
+        let metrics = sim.metrics();
+        let arrivals = n * fan_out;
+        let overflow = arrivals.saturating_sub(cap);
+        prop_assert_eq!(metrics.per_round.len(), rounds + 1, "start + message rounds");
+        // The start round delivers nothing and therefore drops nothing.
+        prop_assert_eq!(metrics.per_round[0].dropped_receive, 0);
+        prop_assert_eq!(metrics.per_round[0].delivered, 0);
+        for r in 1..=rounds {
+            prop_assert_eq!(
+                metrics.per_round[r].dropped_receive, overflow,
+                "round {} dropped != overflow", r
+            );
+            prop_assert_eq!(
+                metrics.per_round[r].delivered, arrivals - overflow,
+                "round {} delivered != min(arrivals, cap)", r
+            );
+        }
+        prop_assert_eq!(
+            metrics.total_dropped_receive(),
+            (rounds * overflow) as u64
+        );
     }
 
     #[test]
