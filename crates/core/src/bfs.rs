@@ -110,6 +110,24 @@ impl Protocol for BfsNode {
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, BfsMsg>, inbox: &[Envelope<BfsMsg>]) {
         if self.done {
+            // A done node still ingests late child reports: a Child message
+            // delayed by jitter — or retransmitted by a reliability layer such as
+            // `overlay-transport` — carries permanently valid information (the
+            // sender committed to this parent and will not revise it), and
+            // dropping it silently orphans the child in the binarized tree.
+            // Offers stay frozen: re-flooding after the schedule would never
+            // terminate.
+            let mut late_children = false;
+            for env in inbox {
+                if env.payload == BfsMsg::Child {
+                    self.children.push(env.from);
+                    late_children = true;
+                }
+            }
+            if late_children {
+                self.children.sort_unstable();
+                self.children.dedup();
+            }
             return;
         }
         for env in inbox {

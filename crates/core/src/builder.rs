@@ -23,7 +23,10 @@ use crate::wellformed::{BinarizeNode, WellFormedTree};
 use crate::{benign, ExpanderParams, OverlayError, RoundBudget};
 use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
 use overlay_netsim::faults::{CrashEvent, FaultPlan, Partition};
-use overlay_netsim::{CapacityModel, RunMetrics, SimConfig, Simulator};
+use overlay_netsim::{
+    CapacityModel, Protocol, RunMetrics, RunOutcome, SimConfig, Simulator, TransportConfig,
+};
+use overlay_transport::Reliable;
 use std::collections::BTreeMap;
 
 /// Round counts of the three phases of the pipeline.
@@ -63,6 +66,13 @@ pub struct MessageStats {
     pub dropped_offline: u64,
     /// Messages that suffered an injected delivery delay, zero in clean runs.
     pub delayed: u64,
+    /// Transport-layer retransmissions, zero unless the pipeline ran over
+    /// [`OverlayBuilder::with_reliable_transport`].
+    pub retransmits: u64,
+    /// Transport-layer acknowledgment messages, zero without the reliable layer.
+    pub acks: u64,
+    /// Duplicate payloads the transport layer suppressed, zero without it.
+    pub dupes_dropped: u64,
 }
 
 impl MessageStats {
@@ -78,6 +88,9 @@ impl MessageStats {
         self.dropped_fault += metrics.total_dropped_fault() + metrics.total_dropped_partition();
         self.dropped_offline += metrics.total_dropped_offline();
         self.delayed += metrics.total_delayed();
+        self.retransmits += metrics.total_retransmits();
+        self.acks += metrics.total_acks();
+        self.dupes_dropped += metrics.total_dupes_dropped();
     }
 }
 
@@ -214,6 +227,7 @@ impl BuildReport {
 pub struct OverlayBuilder {
     params: ExpanderParams,
     round_budget: RoundBudget,
+    transport: Option<TransportConfig>,
 }
 
 impl OverlayBuilder {
@@ -222,7 +236,31 @@ impl OverlayBuilder {
         OverlayBuilder {
             params,
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         }
+    }
+
+    /// Returns the builder with every phase's protocol running behind the
+    /// reliable-delivery transport layer (`overlay_transport::Reliable`):
+    /// per-peer sequence numbers, cumulative/selective acks, deterministic
+    /// retransmission timers and duplicate suppression, configured by `config`.
+    ///
+    /// Transport traffic is subject to the same NCC0 caps as protocol traffic and
+    /// is reported in [`MessageStats::retransmits`] / [`MessageStats::acks`] /
+    /// [`MessageStats::dupes_dropped`]. On a fault-free network the layer is
+    /// transparent: the constructed overlay is identical to the bare pipeline's
+    /// (only acks are added on the wire). Under message loss it converts the
+    /// paper's non-fault-tolerant one-shot sends into retried deliveries — phases
+    /// may then legitimately need a few extra rounds for the retry round-trips, so
+    /// lossy runs usually pair this with [`OverlayBuilder::with_round_budget`].
+    pub fn with_reliable_transport(mut self, config: TransportConfig) -> Self {
+        self.transport = Some(config);
+        self
+    }
+
+    /// The reliable-transport configuration, if the builder uses one.
+    pub fn transport(&self) -> Option<TransportConfig> {
+        self.transport
     }
 
     /// Returns the builder with every phase's round budget scaled by `budget`.
@@ -362,21 +400,19 @@ impl OverlayBuilder {
             local_edges: None,
             faults: faults.clone(),
         };
-        let mut sim = Simulator::new(expander_nodes, config);
         let budget = self
             .round_budget
             .apply(ExpanderNode::total_rounds(&params) + 2);
-        let outcome = sim.run(budget);
-        report.rounds.construction = outcome.rounds;
-        absorb_phase(&mut report, sim.metrics(), &mut total_sent_per_node, None);
-        if !outcome.all_done {
-            let done = sim.done_count();
+        let run = run_phase(expander_nodes, config, budget, self.transport);
+        report.rounds.construction = run.outcome.rounds;
+        absorb_phase(&mut report, &run.metrics, &mut total_sent_per_node, None);
+        if !run.outcome.all_done {
             stall(
                 &mut report,
                 "create-expander",
-                outcome.rounds,
+                run.outcome.rounds,
                 budget,
-                done,
+                run.done_count,
                 n,
                 &total_sent_per_node,
             );
@@ -385,13 +421,13 @@ impl OverlayBuilder {
         report.phases.push((
             "create-expander",
             PhaseOutcome::Completed {
-                rounds: outcome.rounds,
+                rounds: run.outcome.rounds,
             },
         ));
 
         // Who made it out of construction alive?
-        let alive1: Vec<bool> = (0..n).map(|i| sim.is_active(NodeId::from(i))).collect();
-        let nodes = sim.into_nodes();
+        let alive1 = run.alive;
+        let nodes = run.nodes;
 
         // The survivor-induced final evolution graph; edges into dead nodes dangle
         // and are pruned. If the survivors fragment, continue on the largest
@@ -455,39 +491,38 @@ impl OverlayBuilder {
             local_edges: None,
             faults: bfs_faults,
         };
-        let mut sim = Simulator::new(bfs_nodes, config);
         let budget = self
             .round_budget
             .apply(BfsNode::total_rounds(params.bfs_rounds) + 1);
-        let outcome = sim.run(budget);
-        report.rounds.bfs = outcome.rounds;
+        let run = run_phase(bfs_nodes, config, budget, self.transport);
+        report.rounds.bfs = run.outcome.rounds;
         absorb_phase(
             &mut report,
-            sim.metrics(),
+            &run.metrics,
             &mut total_sent_per_node,
             Some(&core_old_ids),
         );
-        if !outcome.all_done {
-            let done = sim.done_count();
+        if !run.outcome.all_done {
             stall(
                 &mut report,
                 "bfs",
-                outcome.rounds,
+                run.outcome.rounds,
                 budget,
-                done,
+                run.done_count,
                 m,
                 &total_sent_per_node,
             );
             return Ok(report);
         }
-        let alive2: Vec<bool> = (0..m).map(|i| sim.is_active(NodeId::from(i))).collect();
+        let alive2 = run.alive;
+        let outcome_rounds = run.outcome.rounds;
         report.phases.push((
             "bfs",
             PhaseOutcome::Completed {
-                rounds: outcome.rounds,
+                rounds: outcome_rounds,
             },
         ));
-        let bfs = sim.into_nodes();
+        let bfs = run.nodes;
         // Convergence among the nodes still alive: one shared root, no self-parents.
         let root = bfs
             .iter()
@@ -510,7 +545,7 @@ impl OverlayBuilder {
             stall(
                 &mut report,
                 "bfs-convergence",
-                outcome.rounds,
+                outcome_rounds,
                 budget,
                 agreeing,
                 m,
@@ -535,31 +570,29 @@ impl OverlayBuilder {
             local_edges: None,
             faults: bin_faults,
         };
-        let mut sim = Simulator::new(bin_nodes, config);
         let budget = self.round_budget.apply(BinarizeNode::total_rounds() + 1);
-        let outcome = sim.run(budget);
-        report.rounds.finalize = outcome.rounds;
+        let run = run_phase(bin_nodes, config, budget, self.transport);
+        report.rounds.finalize = run.outcome.rounds;
         absorb_phase(
             &mut report,
-            sim.metrics(),
+            &run.metrics,
             &mut total_sent_per_node,
             Some(&core_old_ids),
         );
-        if !outcome.all_done {
-            let done = sim.done_count();
+        if !run.outcome.all_done {
             stall(
                 &mut report,
                 "binarize",
-                outcome.rounds,
+                run.outcome.rounds,
                 budget,
-                done,
+                run.done_count,
                 m,
                 &total_sent_per_node,
             );
             return Ok(report);
         }
-        let alive3: Vec<bool> = (0..m).map(|i| sim.is_active(NodeId::from(i))).collect();
-        let parents: Vec<NodeId> = sim.nodes().iter().map(BinarizeNode::new_parent).collect();
+        let alive3 = run.alive;
+        let parents: Vec<NodeId> = run.nodes.iter().map(BinarizeNode::new_parent).collect();
 
         finish_totals(&mut report, &total_sent_per_node);
         match WellFormedTree::from_parents_over(parents, &alive3) {
@@ -567,7 +600,7 @@ impl OverlayBuilder {
                 report.phases.push((
                     "finalize",
                     PhaseOutcome::Completed {
-                        rounds: outcome.rounds,
+                        rounds: run.outcome.rounds,
                     },
                 ));
                 report.tree_valid_over_alive = tree.is_valid_over(&alive3);
@@ -584,7 +617,7 @@ impl OverlayBuilder {
                 report.phases.push((
                     "finalize",
                     PhaseOutcome::Stalled {
-                        rounds: outcome.rounds,
+                        rounds: run.outcome.rounds,
                         budget,
                         nodes_done: alive3.iter().filter(|a| **a).count(),
                         nodes_total: m,
@@ -594,6 +627,60 @@ impl OverlayBuilder {
             }
         }
         Ok(report)
+    }
+}
+
+/// One simulated phase's outcome, with the protocol states already unwrapped from
+/// the optional transport adapter.
+struct PhaseRun<P> {
+    nodes: Vec<P>,
+    outcome: RunOutcome,
+    metrics: RunMetrics,
+    alive: Vec<bool>,
+    done_count: usize,
+}
+
+/// Runs one phase of the pipeline — behind the reliable transport layer when one
+/// is configured, bare otherwise — and extracts everything the pipeline needs
+/// from the simulator. With a transport, `is_done` (and therefore `done_count`
+/// and the phase's wall-rounds) includes the transport's own drain condition:
+/// a node holding unacknowledged data keeps the phase alive so retransmissions
+/// can land.
+fn run_phase<P: Protocol>(
+    nodes: Vec<P>,
+    config: SimConfig,
+    budget: usize,
+    transport: Option<TransportConfig>,
+) -> PhaseRun<P> {
+    fn finish<Q: Protocol, P>(
+        mut sim: Simulator<Q>,
+        budget: usize,
+        unwrap: impl Fn(Q) -> P,
+    ) -> PhaseRun<P> {
+        let outcome = sim.run(budget);
+        let alive = (0..sim.node_count())
+            .map(|i| sim.is_active(NodeId::from(i)))
+            .collect();
+        let done_count = sim.done_count();
+        let metrics = sim.metrics().clone();
+        PhaseRun {
+            nodes: sim.into_nodes().into_iter().map(unwrap).collect(),
+            outcome,
+            metrics,
+            alive,
+            done_count,
+        }
+    }
+    match transport {
+        Some(cfg) => finish(
+            Simulator::new(
+                nodes.into_iter().map(|p| Reliable::new(p, cfg)).collect(),
+                config,
+            ),
+            budget,
+            Reliable::into_inner,
+        ),
+        None => finish(Simulator::new(nodes, config), budget, |p| p),
     }
 }
 
@@ -1056,6 +1143,66 @@ mod tests {
             clean.rounds,
             OverlayBuilder::new(params).build(&g).unwrap().rounds
         );
+    }
+
+    #[test]
+    fn reliable_transport_is_transparent_on_a_clean_network() {
+        let n = 64;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(29).with_walk_len(12);
+        let bare = OverlayBuilder::new(params).build(&g).expect("clean build");
+        let reliable = OverlayBuilder::new(params)
+            .with_reliable_transport(TransportConfig::default())
+            .build_under_faults(&g, &FaultPlan::default())
+            .expect("valid input");
+        assert!(reliable.is_success());
+        let result = reliable.result.expect("completed");
+        // The transport never touches the node RNGs and adds no latency on a
+        // clean network, so the constructed overlay is *identical*; only ack
+        // traffic (and the final ack round-trips at each phase's end) is added.
+        assert_eq!(result.tree, bare.tree);
+        assert_eq!(result.expander, bare.expander);
+        assert_eq!(result.bfs_parents, bare.bfs_parents);
+        assert_eq!(reliable.messages.retransmits, 0);
+        assert_eq!(reliable.messages.dupes_dropped, 0);
+        assert!(reliable.messages.acks > 0);
+        assert_eq!(bare.messages.acks, 0, "the bare pipeline has no transport");
+        // The drain adds at most the ack round-trip per phase, within the
+        // standard budget.
+        assert!(result.rounds.total() <= bare.rounds.total() + 3);
+    }
+
+    #[test]
+    fn reliable_transport_rescues_lossy_binarization() {
+        // Seed 1 of the `lossy-ncc0` scenario (0.2% loss, cycle/128): the bare
+        // pipeline loses a RelinkMsg in the one-round binarization and fails at
+        // `finalize`. The transport retransmits it and completes the tree.
+        let n = 128;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(1);
+        let plan = FaultPlan::default().with_drop_prob(0.002);
+        let bare = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert!(
+            !bare.is_success(),
+            "seed 1 must reproduce the baseline failure: {:?}",
+            bare.phases
+        );
+        let reliable = OverlayBuilder::new(params)
+            .with_reliable_transport(TransportConfig::default())
+            .with_round_budget(RoundBudget::percent(200))
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert!(
+            reliable.is_success(),
+            "transport must rescue the run: {:?}",
+            reliable.phases
+        );
+        assert!((reliable.coverage(n) - 1.0).abs() < 1e-12);
+        // The reliability overhead is visible, not hidden.
+        assert!(reliable.messages.retransmits > 0);
+        assert!(reliable.messages.acks > 0);
     }
 
     #[test]

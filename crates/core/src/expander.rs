@@ -69,6 +69,11 @@ pub struct ExpanderNode {
     arrived: Vec<NodeId>,
     /// Tokens "sent to ourselves" over self-loop slots, delivered next round locally.
     self_delivery: Vec<BufferedToken>,
+    /// Pooled scratch the per-round drains of `self_delivery` and `forward_buffer`
+    /// swap through, so the hot path stops reallocating those vectors every round
+    /// (the same discipline as the simulator's envelope arena). Empty between
+    /// rounds; only its capacity persists.
+    scratch: Vec<BufferedToken>,
     /// Set once the final graph has been assembled.
     done: bool,
 }
@@ -87,6 +92,7 @@ impl ExpanderNode {
             forward_buffer: Vec::new(),
             arrived: Vec::new(),
             self_delivery: Vec::new(),
+            scratch: Vec::new(),
             done: false,
         }
     }
@@ -135,9 +141,11 @@ impl ExpanderNode {
     }
 
     /// Replaces the current slot list with the edges collected during the last
-    /// evolution, padded with self-loops.
+    /// evolution, padded with self-loops. The outgoing slot list's buffer is kept
+    /// as the next evolution's (cleared) collection buffer instead of being freed.
     fn adopt_next_graph(&mut self) {
-        self.slots = std::mem::take(&mut self.next_slots);
+        std::mem::swap(&mut self.slots, &mut self.next_slots);
+        self.next_slots.clear();
         self.pad_with_self_loops();
     }
 
@@ -175,27 +183,38 @@ impl ExpanderNode {
     }
 
     fn forward_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
-        let buffered = std::mem::take(&mut self.forward_buffer);
-        for (origin, steps_left) in buffered {
+        // Swap the buffer out through the pooled scratch (rather than `take`, which
+        // would drop its capacity every round) — `hop_token` only ever appends to
+        // `self_delivery`, never to `forward_buffer`, so draining a detached buffer
+        // is equivalent.
+        debug_assert!(self.scratch.is_empty(), "scratch is empty between uses");
+        let mut buffered =
+            std::mem::replace(&mut self.forward_buffer, std::mem::take(&mut self.scratch));
+        for (origin, steps_left) in buffered.drain(..) {
             debug_assert!(
                 steps_left > 0,
                 "tokens with no hops left never enter the buffer"
             );
             self.hop_token(ctx, origin, steps_left - 1);
         }
+        self.scratch = buffered;
     }
 
     fn accept_round(&mut self, ctx: &mut Ctx<'_, ExpanderMsg>) {
-        let mut arrived = std::mem::take(&mut self.arrived);
-        arrived.shuffle(ctx.rng());
-        arrived.truncate(self.params.max_accepts());
-        for origin in arrived {
+        // In place (no `take`, which reallocated every evolution): the shuffle and
+        // truncation draw the exact same RNG stream as before, and the buffer's
+        // capacity survives for the next evolution.
+        self.arrived.shuffle(ctx.rng());
+        self.arrived.truncate(self.params.max_accepts());
+        for i in 0..self.arrived.len() {
+            let origin = self.arrived[i];
             self.next_slots.push(origin);
             if origin != self.id {
                 ctx.send_global(origin, ExpanderMsg::Accept);
             }
             // A walk that returned home creates a self-loop, which needs no message.
         }
+        self.arrived.clear();
     }
 
     fn ingest(&mut self, inbox: &[Envelope<ExpanderMsg>]) {
@@ -212,15 +231,19 @@ impl ExpanderNode {
                 ExpanderMsg::Accept => self.next_slots.push(env.from),
             }
         }
-        // Tokens that travelled over a self-loop slot last round.
-        let held = std::mem::take(&mut self.self_delivery);
-        for (origin, steps_left) in held {
+        // Tokens that travelled over a self-loop slot last round, drained through
+        // the pooled scratch so the vector's capacity is reused round over round.
+        debug_assert!(self.scratch.is_empty(), "scratch is empty between uses");
+        let mut held =
+            std::mem::replace(&mut self.self_delivery, std::mem::take(&mut self.scratch));
+        for (origin, steps_left) in held.drain(..) {
             if steps_left == 0 {
                 self.arrived.push(origin);
             } else {
                 self.forward_buffer.push((origin, steps_left));
             }
         }
+        self.scratch = held;
     }
 }
 

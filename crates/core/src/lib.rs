@@ -53,5 +53,6 @@ pub use builder::{
 pub use error::OverlayError;
 pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};
+pub use overlay_netsim::TransportConfig;
 pub use params::{ExpanderParams, RoundBudget};
 pub use wellformed::WellFormedTree;

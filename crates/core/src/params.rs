@@ -145,14 +145,26 @@ impl ExpanderParams {
 /// applied per phase with ceiling division and never shrink a budget below the clean
 /// one, so [`RoundBudget::STANDARD`] (100%) reproduces the historical behavior
 /// bit-for-bit.
+///
+/// A budget may also declare *additive slack* ([`RoundBudget::with_slack`]): a flat
+/// number of extra rounds added to every phase after the percent scaling. Slack is
+/// the right shape for reliable-transport retry round-trips, which cost a
+/// *constant* number of rounds per phase (each retransmission-plus-ack chain is a
+/// fixed-length exchange) — a percent multiplier can never grant a 1-round phase
+/// like binarization the handful of extra rounds a retry chain needs without
+/// absurdly inflating the long phases.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RoundBudget {
     percent: u32,
+    slack: u32,
 }
 
 impl RoundBudget {
     /// The clean-network budget: exactly the paper's schedule (100%).
-    pub const STANDARD: RoundBudget = RoundBudget { percent: 100 };
+    pub const STANDARD: RoundBudget = RoundBudget {
+        percent: 100,
+        slack: 0,
+    };
 
     /// A budget of `percent`% of the clean schedule.
     ///
@@ -165,7 +177,16 @@ impl RoundBudget {
             percent >= 100,
             "round budget must be at least the clean schedule (100%), got {percent}%"
         );
-        RoundBudget { percent }
+        RoundBudget { percent, slack: 0 }
+    }
+
+    /// Returns the budget with `slack` flat extra rounds added to every phase
+    /// (after the percent scaling). This is how reliable-transport scenarios
+    /// declare room for retry round-trips: a retransmission-plus-ack chain costs a
+    /// constant number of rounds regardless of the phase's length.
+    pub fn with_slack(mut self, slack: u32) -> Self {
+        self.slack = slack;
+        self
     }
 
     /// The multiplier in percent (`100` = clean budget).
@@ -173,10 +194,16 @@ impl RoundBudget {
         self.percent
     }
 
-    /// Scales a clean phase budget, rounding up; never below `base`.
+    /// The flat extra rounds granted to every phase (`0` = pure multiplier).
+    pub fn slack(&self) -> u32 {
+        self.slack
+    }
+
+    /// Scales a clean phase budget, rounding up — never below `base` — then adds
+    /// the flat slack.
     pub fn apply(&self, base: usize) -> usize {
         let scaled = (base * self.percent as usize).div_ceil(100);
-        scaled.max(base)
+        scaled.max(base) + self.slack as usize
     }
 }
 
@@ -239,6 +266,19 @@ mod tests {
         assert_eq!(RoundBudget::percent(150).apply(11), 17); // ceil(16.5)
         assert_eq!(RoundBudget::percent(200).apply(0), 0);
         assert_eq!(RoundBudget::percent(125).as_percent(), 125);
+    }
+
+    #[test]
+    fn round_budget_slack_is_flat_per_phase() {
+        let b = RoundBudget::STANDARD.with_slack(10);
+        assert_eq!(b.slack(), 10);
+        assert_eq!(b.as_percent(), 100);
+        // Slack lands on top of the (never-shrinking) scaled budget: a 1-round
+        // phase gets the same absolute retry headroom as a 200-round one.
+        assert_eq!(b.apply(1), 11);
+        assert_eq!(b.apply(200), 210);
+        assert_eq!(RoundBudget::percent(150).with_slack(4).apply(10), 19);
+        assert_eq!(RoundBudget::STANDARD.with_slack(0), RoundBudget::STANDARD);
     }
 
     #[test]

@@ -69,9 +69,11 @@ pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod runtime;
+pub mod transport;
 
 pub use caps::CapacityModel;
 pub use faults::{CrashEvent, DelayModel, FaultPlan, FaultRouter, JoinEvent, Partition};
-pub use metrics::{RoundMetrics, RunMetrics};
+pub use metrics::{RoundMetrics, RunMetrics, TransportCounters};
 pub use protocol::{Channel, Ctx, Envelope, Protocol};
 pub use runtime::{RunOutcome, SimConfig, Simulator};
+pub use transport::TransportConfig;

@@ -36,6 +36,39 @@ pub struct RoundMetrics {
     pub crashed: usize,
     /// Nodes that joined at the start of this round.
     pub joined: usize,
+    /// Transport-layer retransmissions performed this round (reported by reliable
+    /// protocol adapters via [`crate::Ctx::note_retransmit`]; zero for bare
+    /// protocols).
+    pub retransmits: usize,
+    /// Transport-layer acknowledgment messages sent this round (via
+    /// [`crate::Ctx::note_ack`]).
+    pub acks: usize,
+    /// Duplicate payloads suppressed by a transport layer this round (via
+    /// [`crate::Ctx::note_dupe_dropped`]). These messages appear in `delivered`
+    /// (the network did carry them) but never reached the wrapped protocol.
+    pub dupes_dropped: usize,
+}
+
+impl RoundMetrics {
+    /// Folds one node's per-round transport counters into this round's totals.
+    pub(crate) fn absorb_transport(&mut self, t: &TransportCounters) {
+        self.retransmits += t.retransmits;
+        self.acks += t.acks;
+        self.dupes_dropped += t.dupes_dropped;
+    }
+}
+
+/// Per-callback transport-overhead counters, accumulated on [`crate::Ctx`] by
+/// reliable-delivery adapters (see the `overlay-transport` crate) and folded into
+/// [`RoundMetrics`] by the simulator after each callback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Data messages re-sent because no acknowledgment arrived in time.
+    pub retransmits: usize,
+    /// Acknowledgment messages sent.
+    pub acks: usize,
+    /// Duplicate payloads suppressed before reaching the wrapped protocol.
+    pub dupes_dropped: usize,
 }
 
 /// Aggregated communication counters for a whole run.
@@ -144,6 +177,22 @@ impl RunMetrics {
         self.per_round.iter().map(|r| r.joined).sum()
     }
 
+    /// Total transport-layer retransmissions over the whole run (zero unless the
+    /// protocols run behind a reliable-delivery adapter).
+    pub fn total_retransmits(&self) -> u64 {
+        self.per_round.iter().map(|r| r.retransmits as u64).sum()
+    }
+
+    /// Total transport-layer acknowledgment messages over the whole run.
+    pub fn total_acks(&self) -> u64 {
+        self.per_round.iter().map(|r| r.acks as u64).sum()
+    }
+
+    /// Total duplicate payloads suppressed by a transport layer over the whole run.
+    pub fn total_dupes_dropped(&self) -> u64 {
+        self.per_round.iter().map(|r| r.dupes_dropped as u64).sum()
+    }
+
     /// The maximum total number of messages any single node sent over the whole run
     /// (the paper bounds this by `O(log² n)` for the main algorithm).
     pub fn max_total_sent_per_node(&self) -> u64 {
@@ -181,6 +230,9 @@ mod tests {
             delayed: 3,
             crashed: 1,
             joined: 0,
+            retransmits: 2,
+            acks: 4,
+            dupes_dropped: 1,
         });
         m.per_round.push(RoundMetrics {
             max_sent: 1,
@@ -196,6 +248,9 @@ mod tests {
             delayed: 0,
             crashed: 0,
             joined: 2,
+            retransmits: 1,
+            acks: 3,
+            dupes_dropped: 0,
         });
         m.total_sent_per_node = vec![7, 2];
         assert_eq!(m.max_sent_in_any_round(), 3);
@@ -211,5 +266,20 @@ mod tests {
         assert_eq!(m.total_crashed(), 1);
         assert_eq!(m.total_joined(), 2);
         assert_eq!(m.max_total_sent_per_node(), 7);
+        assert_eq!(m.total_retransmits(), 3);
+        assert_eq!(m.total_acks(), 7);
+        assert_eq!(m.total_dupes_dropped(), 1);
+    }
+
+    #[test]
+    fn transport_counters_fold_into_round_metrics() {
+        let mut r = RoundMetrics::default();
+        r.absorb_transport(&TransportCounters {
+            retransmits: 2,
+            acks: 1,
+            dupes_dropped: 3,
+        });
+        r.absorb_transport(&TransportCounters::default());
+        assert_eq!((r.retransmits, r.acks, r.dupes_dropped), (2, 1, 3));
     }
 }

@@ -1,5 +1,6 @@
 //! The protocol trait and the per-round node context.
 
+use crate::metrics::TransportCounters;
 use overlay_graph::NodeId;
 use rand::rngs::StdRng;
 
@@ -68,6 +69,9 @@ pub struct Ctx<'a, M> {
     /// Index into `outbox` where this node's messages begin (the buffer is shared
     /// across all nodes of a round so it can be reused without reallocation).
     pub(crate) base: usize,
+    /// Transport-overhead counters reported by reliable-delivery adapters this
+    /// callback; the simulator folds them into the round's metrics afterwards.
+    pub(crate) transport: TransportCounters,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -121,6 +125,47 @@ impl<'a, M> Ctx<'a, M> {
     pub fn queued(&self) -> usize {
         self.outbox.len() - self.base
     }
+
+    /// Re-borrows this context for a *wrapped* protocol exchanging a different
+    /// message type, writing into the adapter-owned `outbox` instead of the
+    /// simulator's shared one.
+    ///
+    /// This is the seam protocol adapters (e.g. the `overlay-transport` crate's
+    /// `Reliable<P>`) are built on: the adapter runs the inner protocol against the
+    /// derived context, then translates the collected inner messages into its own
+    /// wire format on the outer context. The derived context shares the node's RNG
+    /// (so the inner protocol's random stream is exactly what it would be without
+    /// the adapter), identity, round number and `n`; its transport counters are
+    /// separate and discarded — adapters report overhead on the *outer* context.
+    pub fn derived<'b, N>(&'b mut self, outbox: &'b mut Vec<(NodeId, Channel, N)>) -> Ctx<'b, N> {
+        Ctx {
+            me: self.me,
+            round: self.round,
+            n: self.n,
+            rng: self.rng,
+            base: outbox.len(),
+            outbox,
+            transport: TransportCounters::default(),
+        }
+    }
+
+    /// Records one transport-layer retransmission (for reliable-delivery adapters;
+    /// folded into [`crate::RoundMetrics::retransmits`]).
+    pub fn note_retransmit(&mut self) {
+        self.transport.retransmits += 1;
+    }
+
+    /// Records one transport-layer acknowledgment message sent (folded into
+    /// [`crate::RoundMetrics::acks`]).
+    pub fn note_ack(&mut self) {
+        self.transport.acks += 1;
+    }
+
+    /// Records one duplicate payload suppressed before it reached the wrapped
+    /// protocol (folded into [`crate::RoundMetrics::dupes_dropped`]).
+    pub fn note_dupe_dropped(&mut self) {
+        self.transport.dupes_dropped += 1;
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +184,7 @@ mod tests {
             rng: &mut rng,
             outbox: &mut outbox,
             base: 0,
+            transport: TransportCounters::default(),
         };
         assert_eq!(ctx.me(), NodeId::from(3usize));
         assert_eq!(ctx.round(), 5);
@@ -163,6 +209,7 @@ mod tests {
             rng: &mut rng,
             outbox: &mut outbox,
             base: 0,
+            transport: TransportCounters::default(),
         };
         assert_eq!(ctx.log_n(), 1);
     }
@@ -182,6 +229,7 @@ mod tests {
             rng: &mut rng,
             outbox: &mut outbox,
             base: 2,
+            transport: TransportCounters::default(),
         };
         assert_eq!(ctx.queued(), 0);
         ctx.send_global(NodeId::from(2usize), 3);

@@ -345,9 +345,8 @@ impl<P: Protocol> Simulator<P> {
 
         // Delayed messages surface in their scheduled round; liveness of the
         // recipient at this round was already checked when they were routed.
-        for (to, env) in self.router.take_due(round) {
-            self.arena.push(to, env);
-        }
+        let (router, arena) = (&mut self.router, &mut self.arena);
+        router.drain_due(round, |to, env| arena.push(to, env));
         self.arena.group();
 
         let mut round_metrics = RoundMetrics::default();
@@ -375,6 +374,7 @@ impl<P: Protocol> Simulator<P> {
                     rng: &mut self.rngs[i],
                     outbox: &mut self.outbox,
                     base,
+                    transport: Default::default(),
                 };
                 if self.router.joins_at(i, round) {
                     // The node's first round: it runs its start callback with the
@@ -389,6 +389,7 @@ impl<P: Protocol> Simulator<P> {
                 } else {
                     self.nodes[i].on_round(&mut ctx, self.arena.inbox(i));
                 }
+                round_metrics.absorb_transport(&ctx.transport);
             }
             self.out_lens[i] = self.outbox.len() - base;
         }
@@ -418,8 +419,10 @@ impl<P: Protocol> Simulator<P> {
                     rng: &mut self.rngs[i],
                     outbox: &mut self.outbox,
                     base,
+                    transport: Default::default(),
                 };
                 self.nodes[i].on_start(&mut ctx);
+                round_metrics.absorb_transport(&ctx.transport);
             }
             self.out_lens[i] = self.outbox.len() - base;
         }

@@ -8,14 +8,19 @@
 //!   --dir PATH      output directory (default reports)
 //!   --check         diff each new report against the existing file before
 //!                   overwriting; exit 1 if any deterministic value changed
+//!   --full          additionally run the on-demand larger-n sweeps
+//!                   (n = 1024 / 4096); their reports go to `<dir>/full/` and
+//!                   are never part of the committed `--check` baselines
 //!   SCENARIO...     registry names to run (default: the whole registry)
 //! ```
 //!
 //! Reports are deterministic per `(scenario, seed set)`, so committing `reports/`
 //! and running with `--check` turns any behavior change into a named, per-seed,
-//! per-counter diff.
+//! per-counter diff. The `--full` sweeps are deliberately outside that contract:
+//! they take minutes and exist to spot-check large-n behavior on demand, so they
+//! are written to an untracked `full/` subdirectory and skipped by `--check`.
 
-use overlay_scenarios::{registry, report, Scenario, Sweep};
+use overlay_scenarios::{full_registry, registry, report, Scenario, Sweep};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +29,7 @@ struct Options {
     first_seed: u64,
     dir: PathBuf,
     check: bool,
+    full: bool,
     names: Vec<String>,
 }
 
@@ -33,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         first_seed: 0,
         dir: PathBuf::from("reports"),
         check: false,
+        full: false,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -51,10 +58,11 @@ fn parse_args() -> Result<Options, String> {
             }
             "--dir" => opts.dir = PathBuf::from(value("--dir")?),
             "--check" => opts.check = true,
+            "--full" => opts.full = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
-                            [--check] [SCENARIO...]"
+                            [--check] [--full] [SCENARIO...]"
                         .into(),
                 )
             }
@@ -66,21 +74,32 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn selected(opts: &Options) -> Result<Vec<Scenario>, String> {
-    if opts.names.is_empty() {
-        return Ok(registry());
+    let mut scenarios = if opts.names.is_empty() {
+        registry()
+    } else {
+        opts.names
+            .iter()
+            .map(|name| {
+                overlay_scenarios::find(name)
+                    .or_else(|| full_registry().into_iter().find(|s| s.name == *name))
+                    .ok_or_else(|| format!("unknown scenario {name:?}; known: {}", known_names()))
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    if opts.full {
+        for s in full_registry() {
+            if !scenarios.iter().any(|existing| existing.name == s.name) {
+                scenarios.push(s);
+            }
+        }
     }
-    opts.names
-        .iter()
-        .map(|name| {
-            overlay_scenarios::find(name)
-                .ok_or_else(|| format!("unknown scenario {name:?}; known: {}", known_names()))
-        })
-        .collect()
+    Ok(scenarios)
 }
 
 fn known_names() -> String {
     registry()
         .iter()
+        .chain(full_registry().iter())
         .map(|s| s.name)
         .collect::<Vec<_>>()
         .join(", ")
@@ -104,13 +123,21 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     for scenario in scenarios {
+        // Large-n scenarios selected by name go where `--full` puts them: the
+        // untracked `full/` subdirectory, outside the `--check` contract.
+        let is_full = scenario.name.starts_with("full-");
+        let dir = if is_full {
+            opts.dir.join("full")
+        } else {
+            opts.dir.clone()
+        };
         let sweep = Sweep::over_seeds(scenario, opts.first_seed, opts.seeds);
         let result = sweep.run();
         println!("{}", result.summary());
 
-        let path = opts.dir.join(format!("{}.json", result.scenario.name));
+        let path = dir.join(format!("{}.json", result.scenario.name));
         let mut regressed = false;
-        if opts.check {
+        if opts.check && !is_full {
             if !path.exists() {
                 // A missing baseline must fail the check: treating it as success
                 // would make the regression gate silently inert (e.g. a baseline
@@ -152,7 +179,7 @@ fn main() -> ExitCode {
             // reproducible; the intended-change workflow (rerun without --check,
             // commit) still works.
             regressions += 1;
-        } else if let Err(e) = report::write_report(&result, &opts.dir) {
+        } else if let Err(e) = report::write_report(&result, &dir) {
             eprintln!("  cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -2,6 +2,7 @@
 
 use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario};
 use overlay_core::RoundBudget;
+use overlay_netsim::TransportConfig;
 
 /// Returns the built-in scenarios, clean baselines first.
 ///
@@ -18,6 +19,7 @@ pub fn registry() -> Vec<Scenario> {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "clean-expander",
@@ -27,6 +29,7 @@ pub fn registry() -> Vec<Scenario> {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "lossy-ncc0",
@@ -37,6 +40,7 @@ pub fn registry() -> Vec<Scenario> {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Lossy { drop_prob: 0.002 },
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "lossy-ncc0-heavy",
@@ -47,6 +51,7 @@ pub fn registry() -> Vec<Scenario> {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "delay-jitter",
@@ -65,6 +70,7 @@ pub fn registry() -> Vec<Scenario> {
             // completion is *pending* (late joiners keeping `all_done` false), as in
             // `join-churn` below.
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "mid-build-crash-wave",
@@ -77,6 +83,7 @@ pub fn registry() -> Vec<Scenario> {
                 at: 0.33,
             },
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "join-churn",
@@ -90,6 +97,7 @@ pub fn registry() -> Vec<Scenario> {
                 spread: 0.40,
             },
             round_budget: RoundBudget::percent(150),
+            transport: None,
         },
         Scenario {
             name: "partition-heal",
@@ -103,6 +111,7 @@ pub fn registry() -> Vec<Scenario> {
                 heal: 0.50,
             },
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         },
         Scenario {
             name: "tight-caps",
@@ -112,8 +121,113 @@ pub fn registry() -> Vec<Scenario> {
             capacity: CapacityProfile::Tight,
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
+            transport: None,
+        },
+        // ---- Reliable-transport twins -------------------------------------
+        // Each twin keeps its baseline's graph, size, capacity and fault load and
+        // adds only the `overlay-transport` reliability layer (plus the round
+        // budget the retry round-trips legitimately need), so the report pair
+        // reads as paper-vs-fault-tolerant-variant: the rounds, acks and
+        // retransmissions in the twin are the price of the reliability that the
+        // baseline's failures show is missing.
+        Scenario {
+            name: "lossy-ncc0-reliable",
+            description: "Twin of lossy-ncc0 (0.2% loss) over the reliable \
+                          transport: retransmission heals the binarization seeds \
+                          the baseline loses",
+            family: GraphFamily::Cycle,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.002 },
+            // Retry chains cost a constant number of rounds per phase (each
+            // retransmit+ack round-trip is a fixed-length exchange), so the twins
+            // declare flat slack rather than a multiplier — a percent budget can
+            // never give the 1-round binarize phase meaningful retry headroom.
+            round_budget: RoundBudget::STANDARD.with_slack(12),
+            transport: Some(TransportConfig::default()),
+        },
+        Scenario {
+            name: "lossy-ncc0-heavy-reliable",
+            description: "Twin of lossy-ncc0-heavy (5% loss) over the reliable \
+                          transport: the baseline collapses on every seed",
+            family: GraphFamily::Cycle,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.05 },
+            round_budget: RoundBudget::STANDARD.with_slack(12),
+            transport: Some(TransportConfig::default()),
+        },
+        Scenario {
+            name: "delay-jitter-reliable",
+            description: "Twin of delay-jitter over the reliable transport: \
+                          unacknowledged sends keep the run alive until delayed \
+                          messages land, at the cost of spurious retransmissions",
+            family: GraphFamily::Line,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Jitter {
+                delay_prob: 0.25,
+                max_delay: 3,
+            },
+            round_budget: RoundBudget::STANDARD.with_slack(12),
+            transport: Some(TransportConfig::default()),
+        },
+        Scenario {
+            name: "partition-heal-reliable",
+            description: "Twin of partition-heal over the reliable transport: \
+                          cross-cut messages are retried until the partition \
+                          heals instead of being lost",
+            family: GraphFamily::TwoCyclesBridged,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::PartitionHeal {
+                from: 0.20,
+                heal: 0.50,
+            },
+            round_budget: RoundBudget::STANDARD.with_slack(12),
+            transport: Some(TransportConfig::default()),
         },
     ]
+}
+
+/// On-demand larger-`n` scenarios for the sweep runner's `--full` flag.
+///
+/// These sweeps take minutes, not seconds, so they are *excluded* from the
+/// committed `reports/` baselines and from `--check` (the runner writes them to
+/// a `full/` subdirectory that stays untracked); they exist to confirm that the
+/// `O(log n)` behavior — and the transport's overhead ratio — holds at sizes the
+/// laptop-friendly registry cannot witness.
+pub fn full_registry() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for &n in &[1024usize, 4096] {
+        scenarios.push(Scenario {
+            name: match n {
+                1024 => "full-clean-line-1024",
+                _ => "full-clean-line-4096",
+            },
+            description: "Large-n clean baseline (the paper's worst-case input)",
+            family: GraphFamily::Line,
+            n,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Clean,
+            round_budget: RoundBudget::STANDARD,
+            transport: None,
+        });
+        scenarios.push(Scenario {
+            name: match n {
+                1024 => "full-lossy-reliable-1024",
+                _ => "full-lossy-reliable-4096",
+            },
+            description: "Large-n 0.2% loss over the reliable transport",
+            family: GraphFamily::Cycle,
+            n,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.002 },
+            round_budget: RoundBudget::STANDARD.with_slack(12),
+            transport: Some(TransportConfig::default()),
+        });
+    }
+    scenarios
 }
 
 /// Looks a scenario up by its registry name.
@@ -149,6 +263,46 @@ mod tests {
     fn find_round_trips() {
         assert_eq!(find("join-churn").unwrap().name, "join-churn");
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn reliable_twins_mirror_their_baselines() {
+        for (twin, baseline) in [
+            ("lossy-ncc0-reliable", "lossy-ncc0"),
+            ("lossy-ncc0-heavy-reliable", "lossy-ncc0-heavy"),
+            ("delay-jitter-reliable", "delay-jitter"),
+            ("partition-heal-reliable", "partition-heal"),
+        ] {
+            let twin = find(twin).expect("twin registered");
+            let baseline = find(baseline).expect("baseline registered");
+            // Same experiment, only the transport (and its round allowance) added:
+            // the report pair isolates the cost and benefit of reliability.
+            assert!(twin.transport.is_some() && baseline.transport.is_none());
+            assert_eq!(twin.family, baseline.family);
+            assert_eq!(twin.n, baseline.n);
+            assert_eq!(twin.capacity, baseline.capacity);
+            assert_eq!(twin.faults, baseline.faults);
+        }
+    }
+
+    #[test]
+    fn full_registry_is_large_n_and_does_not_collide() {
+        let base: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        let full = full_registry();
+        assert!(!full.is_empty());
+        for s in &full {
+            assert!(s.n >= 1024, "{} is not a large-n sweep", s.name);
+            assert!(
+                s.name.starts_with("full-"),
+                "{} must be namespaced away from the committed baselines",
+                s.name
+            );
+            assert!(!base.contains(&s.name));
+        }
+        let mut names: Vec<&str> = full.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), full.len(), "full names must be unique");
     }
 
     #[test]

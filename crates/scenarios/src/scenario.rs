@@ -2,7 +2,7 @@
 
 use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder, RoundBudget};
 use overlay_graph::{generators, DiGraph, NodeId};
-use overlay_netsim::FaultPlan;
+use overlay_netsim::{FaultPlan, TransportConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -236,6 +236,13 @@ pub struct Scenario {
     /// jitter, late joins) declare extra allowance here instead of being judged
     /// against the clean schedule; [`RoundBudget::STANDARD`] is the paper's budget.
     pub round_budget: RoundBudget,
+    /// When set, the pipeline's protocols run behind the reliable-delivery
+    /// transport layer (acks, retransmission, duplicate suppression — see
+    /// `overlay-transport`) with this configuration; `None` is the paper's
+    /// bare-sends setting. Reliable twins of a fault scenario keep every other
+    /// field identical so their reports read as a direct paper-vs-fault-tolerant
+    /// comparison.
+    pub transport: Option<TransportConfig>,
 }
 
 /// The outcome of one `(scenario, seed)` run.
@@ -246,6 +253,9 @@ pub struct RunRecord {
     /// The round-budget multiplier (percent of the clean schedule) this run was
     /// granted; `100` is the clean budget.
     pub round_budget_percent: u32,
+    /// Flat extra rounds granted to every phase on top of the percent scaling
+    /// (declared by reliable-transport scenarios for retry round-trips).
+    pub round_budget_slack: u32,
     /// Pipeline completed *and* the tree is valid over the nodes alive at the end.
     pub success: bool,
     /// Pipeline produced a tree at all (may be invalid over the survivors).
@@ -270,6 +280,13 @@ pub struct RunRecord {
     pub dropped_receive: u64,
     /// Messages that suffered injected delays.
     pub delayed: u64,
+    /// Transport-layer retransmissions (zero for bare scenarios).
+    pub retransmits: u64,
+    /// Transport-layer acknowledgment messages (zero for bare scenarios).
+    pub acks: u64,
+    /// Duplicate payloads the transport layer suppressed (zero for bare
+    /// scenarios).
+    pub dupes_dropped: u64,
     /// Crash events executed.
     pub crashed: usize,
     /// Join events executed.
@@ -291,8 +308,11 @@ impl Scenario {
         self.capacity.apply(&mut params);
         let g = self.family.build(n, seed ^ 0x6EED_5EED);
         let plan = self.faults.lower(n, &params, seed);
-        let report = OverlayBuilder::new(params)
-            .with_round_budget(self.round_budget)
+        let mut builder = OverlayBuilder::new(params).with_round_budget(self.round_budget);
+        if let Some(transport) = self.transport {
+            builder = builder.with_reliable_transport(transport);
+        }
+        let report = builder
             .build_under_faults(&g, &plan)
             .expect("registry scenarios produce valid inputs");
         let (tree_height, tree_degree) = report
@@ -303,6 +323,7 @@ impl Scenario {
         RunRecord {
             seed,
             round_budget_percent: self.round_budget.as_percent(),
+            round_budget_slack: self.round_budget.slack(),
             success: report.is_success(),
             completed: report.result.is_some(),
             coverage: report.coverage(n),
@@ -315,6 +336,9 @@ impl Scenario {
             dropped_offline: report.messages.dropped_offline,
             dropped_receive: report.messages.dropped_receive,
             delayed: report.messages.delayed,
+            retransmits: report.messages.retransmits,
+            acks: report.messages.acks,
+            dupes_dropped: report.messages.dupes_dropped,
             crashed: report.crashed,
             joined: report.joined,
             stalled_phase: report.stalled_phase().unwrap_or(""),
@@ -429,6 +453,7 @@ mod tests {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
+            transport: None,
         };
         let r = s.run(3);
         assert!(r.success && r.completed);
@@ -448,7 +473,42 @@ mod tests {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
             round_budget: RoundBudget::percent(125),
+            transport: None,
         };
         assert_eq!(s.run(11), s.run(11));
+    }
+
+    #[test]
+    fn reliable_twin_runs_and_reports_overhead() {
+        let bare = Scenario {
+            name: "test-lossy",
+            description: "lossy cycle",
+            family: GraphFamily::Cycle,
+            n: 48,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Lossy { drop_prob: 0.02 },
+            round_budget: RoundBudget::STANDARD,
+            transport: None,
+        };
+        let reliable = Scenario {
+            round_budget: RoundBudget::percent(200),
+            transport: Some(TransportConfig::default()),
+            ..bare.clone()
+        };
+        let r_bare = bare.run(2);
+        let r_rel = reliable.run(2);
+        assert_eq!(r_bare.retransmits, 0);
+        assert_eq!(r_bare.acks, 0);
+        assert!(
+            r_rel.retransmits > 0,
+            "2% loss must trigger retransmissions"
+        );
+        assert!(r_rel.acks > 0);
+        assert!(
+            r_rel.coverage >= r_bare.coverage,
+            "reliability must not reduce coverage ({} < {})",
+            r_rel.coverage,
+            r_bare.coverage
+        );
     }
 }

@@ -111,6 +111,22 @@ impl SweepReport {
         self.records.iter().map(|r| r.dropped_fault).sum()
     }
 
+    /// Total transport-layer retransmissions across all runs (zero for bare
+    /// scenarios).
+    pub fn total_retransmits(&self) -> u64 {
+        self.records.iter().map(|r| r.retransmits).sum()
+    }
+
+    /// Total transport-layer acknowledgment messages across all runs.
+    pub fn total_acks(&self) -> u64 {
+        self.records.iter().map(|r| r.acks).sum()
+    }
+
+    /// Total duplicate payloads suppressed by the transport across all runs.
+    pub fn total_dupes_dropped(&self) -> u64 {
+        self.records.iter().map(|r| r.dupes_dropped).sum()
+    }
+
     /// The deterministic aggregate + per-seed report as a JSON value.
     ///
     /// Wall-clock time and worker count are environment facts, not results, and are
@@ -138,6 +154,21 @@ impl SweepReport {
                 "round_budget_percent",
                 Json::Int(self.scenario.round_budget.as_percent() as i64),
             ),
+            (
+                "round_budget_slack",
+                Json::Int(self.scenario.round_budget.slack() as i64),
+            ),
+            (
+                "transport",
+                Json::Str(
+                    if self.scenario.transport.is_some() {
+                        "reliable"
+                    } else {
+                        "none"
+                    }
+                    .to_string(),
+                ),
+            ),
             ("seeds", Json::Int(self.records.len() as i64)),
             ("success_rate", Json::Num(self.success_rate())),
             ("mean_coverage", Json::Num(self.mean_coverage())),
@@ -148,6 +179,15 @@ impl SweepReport {
             (
                 "total_dropped_fault",
                 Json::Int(self.total_dropped_fault() as i64),
+            ),
+            (
+                "total_retransmits",
+                Json::Int(self.total_retransmits() as i64),
+            ),
+            ("total_acks", Json::Int(self.total_acks() as i64)),
+            (
+                "total_dupes_dropped",
+                Json::Int(self.total_dupes_dropped() as i64),
             ),
             (
                 "runs",
@@ -187,6 +227,7 @@ fn record_json(r: &RunRecord) -> Json {
             "round_budget_percent",
             Json::Int(r.round_budget_percent as i64),
         ),
+        ("round_budget_slack", Json::Int(r.round_budget_slack as i64)),
         ("success", Json::Bool(r.success)),
         ("completed", Json::Bool(r.completed)),
         ("coverage", Json::Num(r.coverage)),
@@ -199,6 +240,9 @@ fn record_json(r: &RunRecord) -> Json {
         ("dropped_offline", Json::Int(r.dropped_offline as i64)),
         ("dropped_receive", Json::Int(r.dropped_receive as i64)),
         ("delayed", Json::Int(r.delayed as i64)),
+        ("retransmits", Json::Int(r.retransmits as i64)),
+        ("acks", Json::Int(r.acks as i64)),
+        ("dupes_dropped", Json::Int(r.dupes_dropped as i64)),
         ("crashed", Json::Int(r.crashed as i64)),
         ("joined", Json::Int(r.joined as i64)),
         ("stalled_phase", Json::Str(r.stalled_phase.to_string())),

@@ -1,0 +1,737 @@
+//! The [`Reliable`] protocol adapter: sequence numbers, acks, retransmission and
+//! duplicate suppression around an arbitrary inner [`Protocol`].
+
+use overlay_graph::NodeId;
+use overlay_netsim::{Channel, Ctx, Envelope, Protocol, TransportConfig};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The wire format of the reliable layer: the inner protocol's payloads wrapped
+/// with a per-peer sequence number, plus acknowledgment messages.
+///
+/// Both variants are `O(log n)` bits on top of the payload (a sequence number and
+/// a constant-size bitmap), so a wrapped protocol still satisfies the NCC0
+/// message-size discipline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportMsg<M> {
+    /// An inner-protocol payload, tagged with the sender's per-peer sequence
+    /// number (sequence numbers start at 1 and never repeat within a run).
+    Data {
+        /// Position of this payload in the sender→receiver stream.
+        seq: u32,
+        /// The lowest sequence number the sender still holds open: everything
+        /// below it is acknowledged or *abandoned* and will never be re-sent.
+        /// Lets the receiver advance its cumulative horizon past abandoned
+        /// gaps — without it, one abandoned payload would wedge the cumulative
+        /// ack below the gap forever, and once the stream moved more than the
+        /// selective bitmap's 64 sequences past it, every later (delivered!)
+        /// message would be retransmitted to exhaustion.
+        floor: u32,
+        /// The wrapped protocol message.
+        payload: M,
+    },
+    /// A (cumulative + selective) acknowledgment for the reverse direction.
+    Ack {
+        /// Every sequence number `<= cum` has been received (`0` = none yet).
+        cum: u32,
+        /// Bit `i` set means sequence `cum + 1 + i` was received out of order.
+        sel: u64,
+    },
+}
+
+/// One queued-or-in-flight outgoing payload.
+#[derive(Clone, Debug)]
+struct OutEntry<M> {
+    seq: u32,
+    channel: Channel,
+    payload: M,
+    /// Round of the most recent send; `None` while the window keeps it queued.
+    last_sent: Option<usize>,
+    /// Times this entry went on the wire (1 = the original send).
+    sends: usize,
+    /// Acknowledged (or abandoned): the payload will never be sent again.
+    closed: bool,
+}
+
+/// Per-peer transport state: the outgoing stream (sender role) and the incoming
+/// dedup horizon (receiver role).
+#[derive(Clone, Debug)]
+struct PeerState<M> {
+    /// Sequence number the next enqueued payload will get.
+    next_seq: u32,
+    /// Outgoing entries in sequence order; sent entries form a prefix.
+    outgoing: VecDeque<OutEntry<M>>,
+    /// Number of sent, unacknowledged, unabandoned entries (window occupancy).
+    in_flight: usize,
+    /// Every incoming sequence `<= cum_recv` has been delivered.
+    cum_recv: u32,
+    /// Incoming sequences received out of order (all `> cum_recv`).
+    above: BTreeSet<u32>,
+    /// An ack to this peer is owed at the end of the current round.
+    ack_pending: bool,
+}
+
+impl<M> Default for PeerState<M> {
+    fn default() -> Self {
+        PeerState {
+            next_seq: 1,
+            outgoing: VecDeque::new(),
+            in_flight: 0,
+            cum_recv: 0,
+            above: BTreeSet::new(),
+            ack_pending: false,
+        }
+    }
+}
+
+impl<M> PeerState<M> {
+    /// Records an incoming data sequence; returns `true` if it is fresh (first
+    /// delivery) and `false` for a duplicate.
+    fn receive_data(&mut self, seq: u32) -> bool {
+        if seq <= self.cum_recv || !self.above.insert(seq) {
+            return false;
+        }
+        while self.above.remove(&(self.cum_recv + 1)) {
+            self.cum_recv += 1;
+        }
+        true
+    }
+
+    /// Advances the cumulative horizon past sequences the sender declared
+    /// closed (acknowledged or abandoned — they will never be re-sent, so
+    /// waiting for them would wedge the ack stream forever).
+    fn advance_floor(&mut self, floor: u32) {
+        while self.cum_recv + 1 < floor {
+            self.cum_recv += 1;
+            self.above.remove(&self.cum_recv);
+        }
+        // The gap may have been the only thing holding back a received run.
+        while self.above.remove(&(self.cum_recv + 1)) {
+            self.cum_recv += 1;
+        }
+    }
+
+    /// Applies an acknowledgment from this peer to the outgoing stream.
+    fn handle_ack(&mut self, cum: u32, sel: u64) {
+        for entry in self.outgoing.iter_mut() {
+            if entry.closed || entry.last_sent.is_none() {
+                continue;
+            }
+            let acked = entry.seq <= cum
+                || (u64::from(entry.seq - cum - 1) < 64
+                    && sel & (1u64 << (entry.seq - cum - 1)) != 0);
+            if acked {
+                entry.closed = true;
+                self.in_flight -= 1;
+            }
+        }
+        self.pop_closed();
+    }
+
+    /// Drops the closed prefix of the outgoing queue.
+    fn pop_closed(&mut self) {
+        while self.outgoing.front().is_some_and(|e| e.closed) {
+            self.outgoing.pop_front();
+        }
+    }
+
+    /// The sender-side stream floor: the lowest sequence still open (nothing
+    /// below it will ever be re-sent). The outgoing queue's front is never
+    /// closed (`pop_closed` maintains that invariant), so its sequence — or
+    /// `next_seq` when the queue is drained — is exactly that bound.
+    fn floor(&self) -> u32 {
+        self.outgoing.front().map_or(self.next_seq, |e| e.seq)
+    }
+
+    /// The cumulative/selective ack summarizing everything received so far.
+    fn ack_message(&self) -> TransportMsg<M> {
+        let mut sel = 0u64;
+        for &seq in &self.above {
+            let off = u64::from(seq - self.cum_recv - 1);
+            if off < 64 {
+                sel |= 1u64 << off;
+            }
+        }
+        TransportMsg::Ack {
+            cum: self.cum_recv,
+            sel,
+        }
+    }
+}
+
+/// Per-node lifetime totals of the transport layer (the per-round equivalents go
+/// to [`overlay_netsim::RoundMetrics`] via the [`Ctx`] hooks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Fresh payloads handed to the inner protocol.
+    pub delivered_payloads: u64,
+    /// Duplicate payloads suppressed before the inner protocol saw them.
+    pub dupes_dropped: u64,
+    /// Data messages re-sent after the retransmission timer fired.
+    pub retransmits: u64,
+    /// Acknowledgment messages sent.
+    pub acks_sent: u64,
+    /// Payloads abandoned after [`TransportConfig::max_retransmits`] resends
+    /// (the peer is presumed crashed or unreachable forever).
+    pub abandoned: u64,
+}
+
+/// Wraps an inner [`Protocol`] with at-least-once delivery and duplicate
+/// suppression; see the crate docs for the full contract.
+///
+/// The adapter is itself a [`Protocol`] whose message type is
+/// [`TransportMsg<P::Message>`], so it runs in the unmodified simulator; capacity
+/// caps and fault injection apply to transport traffic exactly as to protocol
+/// traffic. The adapter never touches the node's RNG, keeping the inner
+/// protocol's random stream identical to an unwrapped run.
+///
+/// [`Protocol::is_done`] for the wrapped node requires *both* the inner protocol
+/// to be done *and* every outgoing payload to be acknowledged or abandoned — this
+/// is what keeps the simulation alive long enough for retransmissions to rescue
+/// protocols (like the pipeline's one-round binarization) that otherwise
+/// terminate before their lost messages could be recovered.
+#[derive(Clone, Debug)]
+pub struct Reliable<P: Protocol> {
+    inner: P,
+    config: TransportConfig,
+    peers: BTreeMap<NodeId, PeerState<P::Message>>,
+    /// Reusable buffer the inner protocol's sends are collected in each round.
+    inner_outbox: Vec<(NodeId, Channel, P::Message)>,
+    /// Reusable buffer of fresh payloads handed to the inner protocol.
+    inner_inbox: Vec<Envelope<P::Message>>,
+    stats: ReliableStats,
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Wraps `inner` with the given transport configuration.
+    pub fn new(inner: P, config: TransportConfig) -> Self {
+        Reliable {
+            inner,
+            config,
+            peers: BTreeMap::new(),
+            inner_outbox: Vec::new(),
+            inner_inbox: Vec::new(),
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// The wrapped protocol state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol state.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Unwraps the adapter, returning the inner protocol state.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// The adapter's configuration.
+    pub fn config(&self) -> TransportConfig {
+        self.config
+    }
+
+    /// Lifetime transport totals of this node.
+    pub fn stats(&self) -> ReliableStats {
+        self.stats
+    }
+
+    /// `true` while some outgoing payload is neither acknowledged nor abandoned.
+    pub fn has_outstanding(&self) -> bool {
+        self.peers.values().any(|p| !p.outgoing.is_empty())
+    }
+
+    /// Moves the inner protocol's sends of this round into the per-peer outgoing
+    /// queues (assigning sequence numbers in send order).
+    fn collect_inner_sends(&mut self) {
+        let mut out = std::mem::take(&mut self.inner_outbox);
+        for (to, channel, payload) in out.drain(..) {
+            let peer = self.peers.entry(to).or_default();
+            let seq = peer.next_seq;
+            peer.next_seq += 1;
+            peer.outgoing.push_back(OutEntry {
+                seq,
+                channel,
+                payload,
+                last_sent: None,
+                sends: 0,
+                closed: false,
+            });
+        }
+        self.inner_outbox = out;
+    }
+
+    /// Sends queued entries while each peer's window has room (in sequence order,
+    /// so per-peer FIFO is preserved — on a clean network this is exactly the
+    /// inner protocol's send order).
+    fn open_windows(&mut self, ctx: &mut Ctx<'_, TransportMsg<P::Message>>) {
+        let round = ctx.round();
+        for (&to, peer) in self.peers.iter_mut() {
+            if peer.in_flight >= self.config.window {
+                continue;
+            }
+            let floor = peer.floor();
+            let mut budget = self.config.window - peer.in_flight;
+            for entry in peer.outgoing.iter_mut() {
+                if budget == 0 {
+                    break;
+                }
+                if entry.last_sent.is_some() || entry.closed {
+                    continue;
+                }
+                entry.last_sent = Some(round);
+                entry.sends = 1;
+                peer.in_flight += 1;
+                budget -= 1;
+                ctx.send(
+                    to,
+                    entry.channel,
+                    TransportMsg::Data {
+                        seq: entry.seq,
+                        floor,
+                        payload: entry.payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-sends every in-flight entry whose retransmission timer expired;
+    /// abandons entries that exhausted their retransmission budget.
+    fn retransmit_due(&mut self, ctx: &mut Ctx<'_, TransportMsg<P::Message>>) {
+        let round = ctx.round();
+        for (&to, peer) in self.peers.iter_mut() {
+            // Computed before any abandonment below: the floor only ever rises,
+            // so a conservatively low value is always safe to advertise.
+            let floor = peer.floor();
+            for entry in peer.outgoing.iter_mut() {
+                let Some(last_sent) = entry.last_sent else {
+                    continue;
+                };
+                if entry.closed || round - last_sent < self.config.retransmit_after {
+                    continue;
+                }
+                if entry.sends > self.config.max_retransmits {
+                    // The peer has ignored every attempt: presumed gone for good.
+                    entry.closed = true;
+                    peer.in_flight -= 1;
+                    self.stats.abandoned += 1;
+                    continue;
+                }
+                entry.last_sent = Some(round);
+                entry.sends += 1;
+                self.stats.retransmits += 1;
+                ctx.note_retransmit();
+                ctx.send(
+                    to,
+                    entry.channel,
+                    TransportMsg::Data {
+                        seq: entry.seq,
+                        floor,
+                        payload: entry.payload.clone(),
+                    },
+                );
+            }
+            peer.pop_closed();
+        }
+    }
+
+    /// Sends one cumulative/selective ack to every peer that delivered data this
+    /// round (fresh or duplicate: a duplicate usually means our previous ack was
+    /// lost, so it must be re-sent).
+    ///
+    /// Acks always travel the global channel: sequence numbers are per-peer, so
+    /// one ack summarizes both channels' data, and every protocol currently run
+    /// behind the adapter is NCC0 (global-only). Wrapping a hybrid protocol
+    /// whose traffic is mostly `Channel::Local` would charge ack volume that
+    /// scales with local traffic against the scarce global cap — a known
+    /// limitation; local-channel ack discipline (CONGEST-compatible
+    /// piggybacking) is future work.
+    fn send_acks(&mut self, ctx: &mut Ctx<'_, TransportMsg<P::Message>>) {
+        for (&to, peer) in self.peers.iter_mut() {
+            if !peer.ack_pending {
+                continue;
+            }
+            peer.ack_pending = false;
+            self.stats.acks_sent += 1;
+            ctx.note_ack();
+            ctx.send_global(to, peer.ack_message());
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P> {
+    type Message = TransportMsg<P::Message>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Message>) {
+        self.inner_outbox.clear();
+        {
+            let mut inner_ctx = ctx.derived(&mut self.inner_outbox);
+            self.inner.on_start(&mut inner_ctx);
+        }
+        self.collect_inner_sends();
+        self.open_windows(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: &[Envelope<Self::Message>]) {
+        // 1. Unwrap the round's arrivals: acks update the outgoing streams, fresh
+        //    data is queued for the inner protocol, duplicates are suppressed.
+        self.inner_inbox.clear();
+        for env in inbox {
+            let peer = self.peers.entry(env.from).or_default();
+            match &env.payload {
+                TransportMsg::Data {
+                    seq,
+                    floor,
+                    payload,
+                } => {
+                    peer.ack_pending = true;
+                    peer.advance_floor(*floor);
+                    if peer.receive_data(*seq) {
+                        self.stats.delivered_payloads += 1;
+                        self.inner_inbox.push(Envelope {
+                            from: env.from,
+                            channel: env.channel,
+                            payload: payload.clone(),
+                        });
+                    } else {
+                        self.stats.dupes_dropped += 1;
+                        ctx.note_dupe_dropped();
+                    }
+                }
+                TransportMsg::Ack { cum, sel } => peer.handle_ack(*cum, *sel),
+            }
+        }
+
+        // 2. Run the inner protocol on the deduplicated inbox; its sends are
+        //    collected, sequenced and sent window-permitting (data first, then
+        //    retransmissions, then acks, so the simulator's send cap sheds
+        //    transport overhead before fresh payload).
+        self.inner_outbox.clear();
+        {
+            let mut inner_ctx = ctx.derived(&mut self.inner_outbox);
+            self.inner.on_round(&mut inner_ctx, &self.inner_inbox);
+        }
+        self.collect_inner_sends();
+        self.open_windows(ctx);
+        self.retransmit_due(ctx);
+        self.send_acks(ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done() && !self.has_outstanding()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_netsim::{CapacityModel, FaultPlan, SimConfig, Simulator};
+
+    /// Each node sends `burst` uniquely-numbered messages to node 0 per round for
+    /// `rounds` rounds and records every payload it receives, in order.
+    #[derive(Clone, Debug)]
+    struct Beacon {
+        me: usize,
+        burst: usize,
+        rounds: usize,
+        received: Vec<(usize, u32)>,
+        done: bool,
+    }
+
+    impl Beacon {
+        fn fleet(n: usize, burst: usize, rounds: usize) -> Vec<Beacon> {
+            (0..n)
+                .map(|me| Beacon {
+                    me,
+                    burst,
+                    rounds,
+                    received: Vec::new(),
+                    done: false,
+                })
+                .collect()
+        }
+
+        fn fire(&self, ctx: &mut Ctx<'_, u32>, round: usize) {
+            for k in 0..self.burst {
+                let tag = (self.me * 1_000_000 + round * 1_000 + k) as u32;
+                ctx.send_global(NodeId::from(0usize), tag);
+            }
+        }
+    }
+
+    impl Protocol for Beacon {
+        type Message = u32;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if self.me != 0 {
+                self.fire(ctx, 0);
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u32>, inbox: &[Envelope<u32>]) {
+            for env in inbox {
+                self.received.push((env.from.index(), env.payload));
+            }
+            if ctx.round() < self.rounds {
+                if self.me != 0 {
+                    self.fire(ctx, ctx.round());
+                }
+            } else {
+                self.done = true;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn wrap(nodes: Vec<Beacon>, config: TransportConfig) -> Vec<Reliable<Beacon>> {
+        nodes
+            .into_iter()
+            .map(|b| Reliable::new(b, config))
+            .collect()
+    }
+
+    fn lossy(seed: u64, drop: f64) -> SimConfig {
+        SimConfig {
+            caps: CapacityModel::Unbounded,
+            seed,
+            local_edges: None,
+            faults: FaultPlan::default().with_drop_prob(drop),
+        }
+    }
+
+    /// All payloads every sender fired, as node 0 would record them.
+    fn all_payloads(nodes: &[Beacon]) -> Vec<(usize, u32)> {
+        let mut want = Vec::new();
+        for b in nodes {
+            if b.me == 0 {
+                continue;
+            }
+            for round in 0..b.rounds {
+                for k in 0..b.burst {
+                    want.push((b.me, (b.me * 1_000_000 + round * 1_000 + k) as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        want
+    }
+
+    #[test]
+    fn clean_network_is_a_transparent_pass_through() {
+        let bare = {
+            let mut sim = Simulator::new(Beacon::fleet(6, 2, 3), lossy(9, 0.0));
+            sim.run(20);
+            sim.into_nodes()
+        };
+        let wrapped = {
+            let mut sim = Simulator::new(
+                wrap(Beacon::fleet(6, 2, 3), TransportConfig::default()),
+                lossy(9, 0.0),
+            );
+            let outcome = sim.run(20);
+            assert!(outcome.all_done);
+            // Only acks ride on top; nothing is ever re-sent or duplicated.
+            assert_eq!(sim.metrics().total_retransmits(), 0);
+            assert_eq!(sim.metrics().total_dupes_dropped(), 0);
+            assert!(sim.metrics().total_acks() > 0);
+            sim.into_nodes()
+        };
+        for (bare, wrapped) in bare.iter().zip(&wrapped) {
+            // Identical inbox contents in identical order: the adapter added
+            // latency nowhere and reordered nothing.
+            assert_eq!(bare.received, wrapped.inner().received);
+            assert_eq!(wrapped.stats().retransmits, 0);
+            assert_eq!(wrapped.stats().dupes_dropped, 0);
+            assert_eq!(wrapped.stats().abandoned, 0);
+        }
+    }
+
+    #[test]
+    fn heavy_loss_every_payload_arrives_exactly_once() {
+        let n = 8;
+        let mut sim = Simulator::new(
+            wrap(Beacon::fleet(n, 3, 4), TransportConfig::default()),
+            lossy(3, 0.35),
+        );
+        let outcome = sim.run(200);
+        assert!(outcome.all_done, "retransmission must finish the run");
+        assert!(sim.metrics().total_retransmits() > 0);
+        let hub = sim.node(NodeId::from(0usize));
+        let mut got = hub.inner().received.clone();
+        got.sort_unstable();
+        // Exactly once: no payload missing, none delivered twice.
+        assert_eq!(got, all_payloads(&Beacon::fleet(n, 3, 4)));
+    }
+
+    #[test]
+    fn duplicates_from_lost_acks_are_suppressed() {
+        // Drop enough that acks get lost and data is re-sent after already being
+        // received: the dupes must be counted and never reach the inner protocol.
+        let n = 6;
+        let mut sim = Simulator::new(
+            wrap(Beacon::fleet(n, 3, 4), TransportConfig::default()),
+            lossy(17, 0.45),
+        );
+        let outcome = sim.run(300);
+        assert!(outcome.all_done);
+        assert!(
+            sim.metrics().total_dupes_dropped() > 0,
+            "45% loss re-sends already-received data"
+        );
+        let hub = sim.node(NodeId::from(0usize));
+        let mut got = hub.inner().received.clone();
+        got.sort_unstable();
+        let mut deduped = got.clone();
+        deduped.dedup();
+        assert_eq!(
+            got, deduped,
+            "inner protocol must never see a payload twice"
+        );
+        assert_eq!(got, all_payloads(&Beacon::fleet(n, 3, 4)));
+    }
+
+    #[test]
+    fn window_queues_bursts_without_losing_them() {
+        // Window 2 against a 5-message burst: everything still arrives, later.
+        let n = 3;
+        let cfg = TransportConfig::default().with_window(2);
+        let mut sim = Simulator::new(wrap(Beacon::fleet(n, 5, 2), cfg), lossy(5, 0.0));
+        let outcome = sim.run(60);
+        assert!(outcome.all_done);
+        let hub = sim.node(NodeId::from(0usize));
+        let mut got = hub.inner().received.clone();
+        got.sort_unstable();
+        assert_eq!(got, all_payloads(&Beacon::fleet(n, 5, 2)));
+    }
+
+    #[test]
+    fn unreachable_peer_is_abandoned_after_the_budget() {
+        // Total loss: no data or ack ever arrives. The sender must give up after
+        // max_retransmits instead of keeping the run alive forever.
+        let cfg = TransportConfig::default().with_max_retransmits(3);
+        let mut sim = Simulator::new(wrap(Beacon::fleet(2, 1, 1), cfg), lossy(1, 1.0));
+        let outcome = sim.run(100);
+        assert!(outcome.all_done, "abandonment must unblock is_done");
+        assert!(
+            outcome.rounds < 100,
+            "gave up after the budget, not the limit"
+        );
+        let sender = sim.node(NodeId::from(1usize));
+        assert_eq!(sender.stats().abandoned, 1);
+        assert_eq!(sender.stats().retransmits, 3);
+        assert!(!sender.has_outstanding());
+    }
+
+    #[test]
+    fn abandoned_gap_does_not_wedge_the_stream() {
+        // Node 1 streams to node 0, but a partition swallows the first rounds:
+        // with a tiny retransmission budget the early sequences are *abandoned*,
+        // leaving a permanent gap in the stream. The advertised floor must let
+        // the receiver's cumulative ack advance past the gap — otherwise every
+        // post-heal message more than 64 sequences beyond it becomes unackable
+        // and is retransmitted to exhaustion (the run would blow its budget and
+        // drown in duplicates).
+        let n = 2;
+        let burst = 2;
+        let rounds = 90; // > 64 sequences past the abandoned gap
+        let cfg = TransportConfig::default().with_max_retransmits(2);
+        let config = SimConfig {
+            caps: CapacityModel::Unbounded,
+            seed: 21,
+            local_edges: None,
+            faults: FaultPlan::default().with_partition(vec![NodeId::from(0usize)], 0, 12),
+        };
+        let mut sim = Simulator::new(wrap(Beacon::fleet(n, burst, rounds), cfg), config);
+        let outcome = sim.run(rounds + 40);
+        assert!(outcome.all_done, "the stream must drain past the gap");
+        let sender = sim.node(NodeId::from(1usize));
+        assert!(sender.stats().abandoned > 0, "the gap must actually exist");
+        // Every payload fired after the heal (margin for in-flight retries)
+        // arrived, exactly once.
+        let hub = sim.node(NodeId::from(0usize));
+        let mut got = hub.inner().received.clone();
+        got.sort_unstable();
+        let mut deduped = got.clone();
+        deduped.dedup();
+        assert_eq!(got, deduped, "no payload may be delivered twice");
+        let fired = all_payloads(&Beacon::fleet(n, burst, rounds));
+        let post_heal: Vec<_> = fired
+            .iter()
+            .filter(|&&(_, tag)| (tag / 1_000) % 1_000 >= 20)
+            .copied()
+            .collect();
+        assert!(post_heal.iter().all(|p| got.contains(p)));
+        // Bounded recovery, not a retransmit storm: nothing is re-sent more
+        // than its per-message budget, so the total is a small multiple of the
+        // abandoned window, never proportional to the post-gap stream.
+        assert!(
+            sender.stats().retransmits
+                <= (cfg.max_retransmits as u64 + 1) * (sender.stats().abandoned + 64),
+            "retransmits {} indicate a wedged cumulative ack",
+            sender.stats().retransmits
+        );
+    }
+
+    #[test]
+    fn floor_advances_the_receiver_past_closed_sequences() {
+        let mut p: PeerState<u32> = PeerState::default();
+        assert!(p.receive_data(2));
+        assert!(p.receive_data(5));
+        assert_eq!(p.cum_recv, 0);
+        // The sender declares everything below 4 closed: 1 and 3 will never
+        // arrive; 2 was already received. The horizon jumps to 3, then absorbs
+        // the waiting 5? No — 4 is still open, so it stops at 3.
+        p.advance_floor(4);
+        assert_eq!(p.cum_recv, 3);
+        assert!(p.receive_data(4), "the open seq itself still delivers");
+        assert_eq!(p.cum_recv, 5, "and the buffered run is absorbed");
+        assert!(!p.receive_data(2), "pre-floor repeats stay duplicates");
+    }
+
+    #[test]
+    fn seeded_runs_are_byte_identical() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(
+                wrap(Beacon::fleet(7, 2, 3), TransportConfig::default()),
+                lossy(seed, 0.25),
+            );
+            sim.run(150);
+            let stats: Vec<ReliableStats> = sim.nodes().iter().map(|r| r.stats()).collect();
+            let received: Vec<_> = sim
+                .nodes()
+                .iter()
+                .map(|r| r.inner().received.clone())
+                .collect();
+            (sim.metrics().clone(), stats, received)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn peer_state_dedup_and_ack_bookkeeping() {
+        let mut p: PeerState<u32> = PeerState::default();
+        assert!(p.receive_data(1));
+        assert!(!p.receive_data(1), "repeat of the cum prefix is a dupe");
+        assert!(p.receive_data(3), "out-of-order reception is fresh");
+        assert!(!p.receive_data(3), "repeat above cum is a dupe");
+        assert_eq!(p.cum_recv, 1);
+        match p.ack_message() {
+            TransportMsg::Ack { cum, sel } => {
+                assert_eq!(cum, 1);
+                assert_eq!(sel, 0b10, "seq 3 is cum+2, bit 1");
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+        assert!(p.receive_data(2), "gap fill advances cum");
+        assert_eq!(p.cum_recv, 3);
+        assert!(p.above.is_empty());
+    }
+}

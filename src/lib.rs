@@ -8,6 +8,9 @@
 //!   reference algorithms,
 //! * [`netsim`] (`overlay-netsim`) — the synchronous message-passing simulator with the
 //!   NCC0 and hybrid capacity models,
+//! * [`transport`] (`overlay-transport`) — the reliable-delivery layer (per-peer
+//!   sequence numbers, acks, retransmission, duplicate suppression) that wraps any
+//!   protocol so the construction survives message loss,
 //! * [`core`] (`overlay-core`) — the `CreateExpander` pipeline of Theorem 1.1,
 //! * [`hybrid`] (`overlay-hybrid`) — connected components, spanning trees, biconnected
 //!   components and MIS in the hybrid model (Theorems 1.2–1.5),
@@ -40,3 +43,4 @@ pub use overlay_graph as graph;
 pub use overlay_hybrid as hybrid;
 pub use overlay_netsim as netsim;
 pub use overlay_scenarios as scenarios;
+pub use overlay_transport as transport;
