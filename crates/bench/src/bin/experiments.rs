@@ -35,6 +35,7 @@ fn main() {
                 16,
                 Some(std::path::Path::new("reports")),
             )),
+            "e14" => drop(overlay_bench::e14_transport_params(8)),
             other => eprintln!("unknown experiment: {other}"),
         }
     }

@@ -1,4 +1,4 @@
-//! Experiment harness: one function per experiment of EXPERIMENTS.md (E1–E13).
+//! Experiment harness: one function per experiment of EXPERIMENTS.md (E1–E14).
 //!
 //! Every function prints a self-describing table to stdout and returns the rows so that
 //! tests and the Criterion benches can reuse them. Run all experiments with
@@ -596,6 +596,64 @@ pub fn e13_fault_scenarios(seeds: usize, report_dir: Option<&std::path::Path>) -
     rows
 }
 
+/// E14 — transport parameter sweep: `retransmit_after` × `window` crossed against
+/// the loss rate, on the `lossy-ncc0` cycle/128 workload. Each cell runs the full
+/// pipeline over the reliable transport with that configuration and reports the
+/// success rate, round cost and retransmission/ack traffic, answering the ROADMAP
+/// question of how the retry timer and the in-flight window trade rounds against
+/// wire overhead as loss grows.
+///
+/// The per-phase round slack scales with the retry timer (`4 · retransmit_after +
+/// 8`): a retry chain costs a constant number of timer periods, so slower timers
+/// need proportionally more flat headroom — keeping every cell's budget equally
+/// generous relative to its own timer isolates the *parameter* effect from budget
+/// starvation.
+pub fn e14_transport_params(seeds: usize) -> Vec<Row> {
+    use overlay_scenarios::{
+        CapacityProfile, FaultSpec, GraphFamily, PhaseOverrides, RoundBudget, Scenario, Sweep,
+        TransportConfig,
+    };
+    let mut rows = Vec::new();
+    for &drop_prob in &[0.002, 0.02, 0.05] {
+        for &retransmit_after in &[2usize, 4, 8] {
+            for &window in &[2usize, 8, 64] {
+                let scenario = Scenario {
+                    name: "e14-transport",
+                    description: "transport parameter sweep cell",
+                    family: GraphFamily::Cycle,
+                    n: 128,
+                    capacity: CapacityProfile::Standard,
+                    faults: FaultSpec::Lossy { drop_prob },
+                    round_budget: RoundBudget::STANDARD.with_slack(4 * retransmit_after as u32 + 8),
+                    transport: Some(
+                        TransportConfig::default()
+                            .with_retransmit_after(retransmit_after)
+                            .with_window(window),
+                    ),
+                    phases: PhaseOverrides::none(),
+                };
+                let report = Sweep::over_seeds(scenario, 0, seeds).run();
+                rows.push(Row {
+                    label: format!("loss={drop_prob} rto={retransmit_after} win={window}"),
+                    values: vec![
+                        ("success_rate", report.success_rate()),
+                        ("rounds", report.mean_rounds()),
+                        ("delivered", report.mean_delivered()),
+                        ("retransmits", report.total_retransmits() as f64),
+                        ("acks", report.total_acks() as f64),
+                        ("dupes", report.total_dupes_dropped() as f64),
+                    ],
+                });
+            }
+        }
+    }
+    print_table(
+        "E14: transport parameters — retransmit timer x window vs loss rate (cycle/128)",
+        &rows,
+    );
+    rows
+}
+
 /// Runs every experiment with the default (paper-shaped, laptop-sized) parameters.
 pub fn run_all(quick: bool) {
     let sizes: &[usize] = if quick {
@@ -637,6 +695,7 @@ pub fn run_all(quick: bool) {
             Some(std::path::Path::new("reports"))
         },
     );
+    e14_transport_params(if quick { 2 } else { 8 });
 }
 
 #[cfg(test)]
@@ -690,6 +749,37 @@ mod tests {
             }
         }
         let again = e13_fault_scenarios(3, None);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.values, b.values, "{} not deterministic", a.label);
+        }
+    }
+
+    #[test]
+    fn e14_covers_the_grid_deterministically() {
+        let rows = e14_transport_params(1);
+        // 3 loss rates x 3 timers x 3 windows.
+        assert_eq!(rows.len(), 27);
+        for r in &rows {
+            let get = |key: &str| {
+                r.values
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert!(
+                (get("success_rate") - 1.0).abs() < 1e-12,
+                "{} failed unexpectedly",
+                r.label
+            );
+            assert!(get("acks") > 0.0, "{} reported no acks", r.label);
+            assert!(
+                get("retransmits") > 0.0,
+                "{} reported no retransmissions under loss",
+                r.label
+            );
+        }
+        let again = e14_transport_params(1);
         for (a, b) in rows.iter().zip(&again) {
             assert_eq!(a.values, b.values, "{} not deterministic", a.label);
         }

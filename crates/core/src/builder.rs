@@ -16,17 +16,22 @@
 //!   much of the overlay still forms under churn. If the surviving overlay fragments
 //!   after construction, the pipeline continues on the largest connected component
 //!   (the "core") and reports the fragmentation honestly.
+//!
+//! Both entry points are thin facades over the first-class phase pipeline of
+//! [`crate::pipeline`]: each paper phase is a [`Phase`] value executed by a shared
+//! [`PhaseRunner`], and only the typed hand-offs between stages (survivor-core
+//! extraction, BFS convergence, tree validation) live here. Budgets and transports
+//! resolve per phase — see [`PhaseOverrides`] and the
+//! [`OverlayBuilder::with_phase_overrides`] family.
 
 use crate::bfs::BfsNode;
 use crate::expander::ExpanderNode;
+use crate::pipeline::{Phase, PhaseId, PhaseOverrides, PhaseRunner, TransportChoice};
 use crate::wellformed::{BinarizeNode, WellFormedTree};
 use crate::{benign, ExpanderParams, OverlayError, RoundBudget};
 use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
 use overlay_netsim::faults::{CrashEvent, FaultPlan, Partition};
-use overlay_netsim::{
-    CapacityModel, Protocol, RunMetrics, RunOutcome, SimConfig, Simulator, TransportConfig,
-};
-use overlay_transport::Reliable;
+use overlay_netsim::{RunMetrics, TransportConfig};
 use std::collections::BTreeMap;
 
 /// Round counts of the three phases of the pipeline.
@@ -76,7 +81,7 @@ pub struct MessageStats {
 }
 
 impl MessageStats {
-    fn absorb(&mut self, metrics: &RunMetrics) {
+    pub(crate) fn absorb(&mut self, metrics: &RunMetrics) {
         self.max_per_node_per_round = self
             .max_per_node_per_round
             .max(metrics.max_sent_in_any_round())
@@ -228,6 +233,7 @@ pub struct OverlayBuilder {
     params: ExpanderParams,
     round_budget: RoundBudget,
     transport: Option<TransportConfig>,
+    phases: PhaseOverrides,
 }
 
 impl OverlayBuilder {
@@ -237,6 +243,7 @@ impl OverlayBuilder {
             params,
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         }
     }
 
@@ -279,6 +286,33 @@ impl OverlayBuilder {
         self.round_budget
     }
 
+    /// Returns the builder with the given per-phase overrides installed. Unset
+    /// entries inherit the builder-wide budget/transport, so
+    /// [`PhaseOverrides::none`] reproduces builder-global behavior exactly.
+    pub fn with_phase_overrides(mut self, overrides: PhaseOverrides) -> Self {
+        self.phases = overrides;
+        self
+    }
+
+    /// Returns the builder with `phase`'s round budget overridden (all other
+    /// phases keep the builder-wide budget).
+    pub fn with_phase_budget(mut self, phase: PhaseId, budget: RoundBudget) -> Self {
+        self.phases = self.phases.with_budget(phase, budget);
+        self
+    }
+
+    /// Returns the builder with `phase`'s transport overridden: forced bare, or
+    /// forced behind the reliable layer, regardless of the builder-wide setting.
+    pub fn with_phase_transport(mut self, phase: PhaseId, choice: TransportChoice) -> Self {
+        self.phases = self.phases.with_transport(phase, choice);
+        self
+    }
+
+    /// The builder's per-phase overrides.
+    pub fn phase_overrides(&self) -> PhaseOverrides {
+        self.phases
+    }
+
     /// The builder's parameters.
     pub fn params(&self) -> &ExpanderParams {
         &self.params
@@ -294,7 +328,13 @@ impl OverlayBuilder {
     /// * [`OverlayError::DegreeTooLarge`] if the initial degree is too large for the
     ///   NCC0 pipeline,
     /// * [`OverlayError::PhaseIncomplete`] if a phase exceeds its round budget (does not
-    ///   happen w.h.p. with the default parameters).
+    ///   happen w.h.p. with the default parameters),
+    /// * [`OverlayError::Fragmented`] if the survivors split into several components,
+    ///   so the strict every-node contract of the clean path cannot hold (w.h.p. this
+    ///   requires injected faults, which [`OverlayBuilder::build_under_faults`]
+    ///   reports instead of erroring),
+    /// * [`OverlayError::FinalizeFailed`] if every phase ran but the binarized
+    ///   parents did not form a single valid rooted tree.
     pub fn build(&self, g: &DiGraph) -> Result<OverlayResult, OverlayError> {
         let report = self.build_under_faults(g, &FaultPlan::default())?;
         match report.result {
@@ -308,27 +348,10 @@ impl OverlayBuilder {
                 Ok(result)
             }
             Some(_) if report.survivor_ids.len() != g.node_count() => {
-                Err(OverlayError::PhaseIncomplete {
-                    phase: "survivor-connectivity",
-                    budget: 0,
-                })
+                Err(fragmentation_error(&report))
             }
-            Some(_) => Err(OverlayError::PhaseIncomplete {
-                phase: "finalize",
-                budget: 0,
-            }),
-            None => {
-                let (phase, outcome) = report
-                    .phases
-                    .last()
-                    .copied()
-                    .expect("a failed report names the failing phase");
-                let budget = match outcome {
-                    PhaseOutcome::Stalled { budget, .. } => budget,
-                    _ => 0,
-                };
-                Err(OverlayError::PhaseIncomplete { phase, budget })
-            }
+            Some(_) => Err(OverlayError::FinalizeFailed),
+            None => Err(failure_error(&report)),
         }
     }
 
@@ -368,72 +391,22 @@ impl OverlayBuilder {
         // locally during the run.
         benign::make_benign(g, &params)?;
 
-        let mut report = BuildReport {
-            result: None,
-            phases: Vec::new(),
-            survivor_ids: Vec::new(),
-            alive_at_end: Vec::new(),
-            tree_valid_over_alive: false,
-            rounds: RoundBreakdown::default(),
-            messages: MessageStats::default(),
-            crashed: 0,
-            joined: 0,
-        };
-        let mut total_sent_per_node = vec![0u64; n];
+        let mut runner =
+            PhaseRunner::new(n, &params, self.round_budget, self.transport, self.phases);
 
         // Phase 1: CreateExpander over all n nodes (joiners included; the fault
         // router keeps them dormant until their join round).
-        let expander_nodes: Vec<ExpanderNode> = g
-            .nodes()
-            .map(|v| {
-                let mut out: Vec<NodeId> = g.out_neighbors(v).to_vec();
-                out.sort_unstable();
-                out.dedup();
-                ExpanderNode::new(v, out, params)
-            })
-            .collect();
-        let config = SimConfig {
-            caps: CapacityModel::Ncc0 {
-                per_round: params.ncc0_cap,
-            },
-            seed: params.seed,
-            local_edges: None,
-            faults: faults.clone(),
+        let Ok(construction) = runner.run(Phase::create_expander(g, &params, faults.clone()))
+        else {
+            return Ok(runner.into_report());
         };
-        let budget = self
-            .round_budget
-            .apply(ExpanderNode::total_rounds(&params) + 2);
-        let run = run_phase(expander_nodes, config, budget, self.transport);
-        report.rounds.construction = run.outcome.rounds;
-        absorb_phase(&mut report, &run.metrics, &mut total_sent_per_node, None);
-        if !run.outcome.all_done {
-            stall(
-                &mut report,
-                "create-expander",
-                run.outcome.rounds,
-                budget,
-                run.done_count,
-                n,
-                &total_sent_per_node,
-            );
-            return Ok(report);
-        }
-        report.phases.push((
-            "create-expander",
-            PhaseOutcome::Completed {
-                rounds: run.outcome.rounds,
-            },
-        ));
+        let alive1 = construction.alive;
 
-        // Who made it out of construction alive?
-        let alive1 = run.alive;
-        let nodes = run.nodes;
-
-        // The survivor-induced final evolution graph; edges into dead nodes dangle
-        // and are pruned. If the survivors fragment, continue on the largest
-        // component — the "core" — and report the fragmentation.
+        // Hand-off 1: the survivor-induced final evolution graph; edges into dead
+        // nodes dangle and are pruned. If the survivors fragment, continue on the
+        // largest component — the "core" — and report the fragmentation.
         let survivors: Vec<usize> = (0..n).filter(|&i| alive1[i]).collect();
-        let slots = SlotEdges::collect(&nodes, &alive1);
+        let slots = SlotEdges::collect(&construction.nodes, &alive1);
         let full = slots.survivor_graph();
         let comps = analysis::connected_components(&full.simplify());
         let mut sizes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
@@ -445,24 +418,11 @@ impl OverlayBuilder {
             sizes.iter().max_by_key(|&(&comp, &size)| (size, comp))
         else {
             // Everyone crashed during construction.
-            report.phases.push((
-                "survivor-connectivity",
-                PhaseOutcome::Fragmented {
-                    components: 0,
-                    core_size: 0,
-                },
-            ));
-            finish_totals(&mut report, &total_sent_per_node);
-            return Ok(report);
+            runner.fragmented(0, 0);
+            return Ok(runner.into_report());
         };
         if component_count > 1 {
-            report.phases.push((
-                "survivor-connectivity",
-                PhaseOutcome::Fragmented {
-                    components: component_count,
-                    core_size,
-                },
-            ));
+            runner.fragmented(component_count, core_size);
         }
         let core_old_ids: Vec<usize> = survivors
             .into_iter()
@@ -473,57 +433,20 @@ impl OverlayBuilder {
             old_to_new[old] = Some(new);
         }
         let m = core_old_ids.len();
-        report.survivor_ids = core_old_ids.iter().map(|&v| NodeId::from(v)).collect();
+        runner.adopt_core(&core_old_ids);
         let expander = slots.remapped(&core_old_ids, &old_to_new);
 
         // Phase 2: BFS on the core expander, under the remainder of the fault plan.
-        let offset1 = report.rounds.construction;
+        let offset1 = construction.rounds;
         let bfs_faults = remap_plan(&faults.shifted(offset1), &old_to_new);
-        let bfs_nodes: Vec<BfsNode> = expander
-            .nodes()
-            .map(|v| BfsNode::new(v, expander.distinct_neighbors(v), params.bfs_rounds))
-            .collect();
-        let config = SimConfig {
-            caps: CapacityModel::Ncc0 {
-                per_round: params.ncc0_cap,
-            },
-            seed: params.seed.wrapping_add(1),
-            local_edges: None,
-            faults: bfs_faults,
+        let Ok(bfs_run) = runner.run(Phase::bfs(&expander, &params, bfs_faults)) else {
+            return Ok(runner.into_report());
         };
-        let budget = self
-            .round_budget
-            .apply(BfsNode::total_rounds(params.bfs_rounds) + 1);
-        let run = run_phase(bfs_nodes, config, budget, self.transport);
-        report.rounds.bfs = run.outcome.rounds;
-        absorb_phase(
-            &mut report,
-            &run.metrics,
-            &mut total_sent_per_node,
-            Some(&core_old_ids),
-        );
-        if !run.outcome.all_done {
-            stall(
-                &mut report,
-                "bfs",
-                run.outcome.rounds,
-                budget,
-                run.done_count,
-                m,
-                &total_sent_per_node,
-            );
-            return Ok(report);
-        }
-        let alive2 = run.alive;
-        let outcome_rounds = run.outcome.rounds;
-        report.phases.push((
-            "bfs",
-            PhaseOutcome::Completed {
-                rounds: outcome_rounds,
-            },
-        ));
-        let bfs = run.nodes;
-        // Convergence among the nodes still alive: one shared root, no self-parents.
+        let alive2 = bfs_run.alive;
+        let bfs = bfs_run.nodes;
+
+        // Hand-off 2: convergence among the nodes still alive — one shared root,
+        // no self-parents.
         let root = bfs
             .iter()
             .enumerate()
@@ -542,65 +465,34 @@ impl OverlayBuilder {
                 .enumerate()
                 .filter(|(i, b)| !alive2[*i] || Some(b.root()) == root)
                 .count();
-            stall(
-                &mut report,
+            runner.stall(
                 "bfs-convergence",
-                outcome_rounds,
-                budget,
+                bfs_run.rounds,
+                bfs_run.budget,
                 agreeing,
                 m,
-                &total_sent_per_node,
             );
-            return Ok(report);
+            return Ok(runner.into_report());
         }
         let bfs_parents: Vec<NodeId> = bfs.iter().map(BfsNode::parent).collect();
 
         // Phase 3: binarization into a well-formed tree.
-        let offset2 = offset1 + report.rounds.bfs;
+        let offset2 = offset1 + bfs_run.rounds;
         let bin_faults = remap_plan(&faults.shifted(offset2), &old_to_new);
-        let bin_nodes: Vec<BinarizeNode> = bfs
-            .iter()
-            .map(|b| BinarizeNode::new(b.id(), b.parent(), b.children().to_vec()))
-            .collect();
-        let config = SimConfig {
-            caps: CapacityModel::Ncc0 {
-                per_round: params.ncc0_cap,
-            },
-            seed: params.seed.wrapping_add(2),
-            local_edges: None,
-            faults: bin_faults,
+        let Ok(bin_run) = runner.run(Phase::binarize(&bfs, bin_faults)) else {
+            return Ok(runner.into_report());
         };
-        let budget = self.round_budget.apply(BinarizeNode::total_rounds() + 1);
-        let run = run_phase(bin_nodes, config, budget, self.transport);
-        report.rounds.finalize = run.outcome.rounds;
-        absorb_phase(
-            &mut report,
-            &run.metrics,
-            &mut total_sent_per_node,
-            Some(&core_old_ids),
-        );
-        if !run.outcome.all_done {
-            stall(
-                &mut report,
-                "binarize",
-                run.outcome.rounds,
-                budget,
-                run.done_count,
-                m,
-                &total_sent_per_node,
-            );
-            return Ok(report);
-        }
-        let alive3 = run.alive;
-        let parents: Vec<NodeId> = run.nodes.iter().map(BinarizeNode::new_parent).collect();
+        let alive3 = bin_run.alive;
+        let parents: Vec<NodeId> = bin_run.nodes.iter().map(BinarizeNode::new_parent).collect();
 
-        finish_totals(&mut report, &total_sent_per_node);
+        // Hand-off 3: the finalize validation judges binarization's success.
+        let mut report = runner.into_report();
         match WellFormedTree::from_parents_over(parents, &alive3) {
             Some(tree) => {
                 report.phases.push((
                     "finalize",
                     PhaseOutcome::Completed {
-                        rounds: run.outcome.rounds,
+                        rounds: bin_run.rounds,
                     },
                 ));
                 report.tree_valid_over_alive = tree.is_valid_over(&alive3);
@@ -617,8 +509,8 @@ impl OverlayBuilder {
                 report.phases.push((
                     "finalize",
                     PhaseOutcome::Stalled {
-                        rounds: run.outcome.rounds,
-                        budget,
+                        rounds: bin_run.rounds,
+                        budget: bin_run.budget,
                         nodes_done: alive3.iter().filter(|a| **a).count(),
                         nodes_total: m,
                     },
@@ -630,111 +522,51 @@ impl OverlayBuilder {
     }
 }
 
-/// One simulated phase's outcome, with the protocol states already unwrapped from
-/// the optional transport adapter.
-struct PhaseRun<P> {
-    nodes: Vec<P>,
-    outcome: RunOutcome,
-    metrics: RunMetrics,
-    alive: Vec<bool>,
-    done_count: usize,
-}
-
-/// Runs one phase of the pipeline — behind the reliable transport layer when one
-/// is configured, bare otherwise — and extracts everything the pipeline needs
-/// from the simulator. With a transport, `is_done` (and therefore `done_count`
-/// and the phase's wall-rounds) includes the transport's own drain condition:
-/// a node holding unacknowledged data keeps the phase alive so retransmissions
-/// can land.
-fn run_phase<P: Protocol>(
-    nodes: Vec<P>,
-    config: SimConfig,
-    budget: usize,
-    transport: Option<TransportConfig>,
-) -> PhaseRun<P> {
-    fn finish<Q: Protocol, P>(
-        mut sim: Simulator<Q>,
-        budget: usize,
-        unwrap: impl Fn(Q) -> P,
-    ) -> PhaseRun<P> {
-        let outcome = sim.run(budget);
-        let alive = (0..sim.node_count())
-            .map(|i| sim.is_active(NodeId::from(i)))
-            .collect();
-        let done_count = sim.done_count();
-        let metrics = sim.metrics().clone();
-        PhaseRun {
-            nodes: sim.into_nodes().into_iter().map(unwrap).collect(),
-            outcome,
-            metrics,
-            alive,
-            done_count,
+/// Maps a result-less clean-path report to the honest error for its final phase
+/// event: a budget stall is [`OverlayError::PhaseIncomplete`], but the `finalize`
+/// event is a validation verdict (the binarization rounds completed; the parents
+/// formed no valid rooted tree), so blaming its budget would be dishonest —
+/// that is [`OverlayError::FinalizeFailed`]. Total fragmentation (every node
+/// crashed) is the only way a result-less report ends on a non-stall event.
+fn failure_error(report: &BuildReport) -> OverlayError {
+    let (phase, outcome) = report
+        .phases
+        .last()
+        .copied()
+        .expect("a failed report names the failing phase");
+    match outcome {
+        PhaseOutcome::Stalled { .. } if phase == "finalize" => OverlayError::FinalizeFailed,
+        PhaseOutcome::Stalled { budget, .. } => OverlayError::PhaseIncomplete { phase, budget },
+        PhaseOutcome::Fragmented {
+            components,
+            core_size,
+        } => OverlayError::Fragmented {
+            components,
+            core_size,
+        },
+        PhaseOutcome::Completed { .. } => {
+            unreachable!("a completed final phase always carries a result")
         }
     }
-    match transport {
-        Some(cfg) => finish(
-            Simulator::new(
-                nodes.into_iter().map(|p| Reliable::new(p, cfg)).collect(),
-                config,
-            ),
-            budget,
-            Reliable::into_inner,
-        ),
-        None => finish(Simulator::new(nodes, config), budget, |p| p),
-    }
 }
 
-/// Records a stalled phase and closes the report's totals (every stall exits the
-/// pipeline, so this is the single place the two always happen together).
-fn stall(
-    report: &mut BuildReport,
-    phase: &'static str,
-    rounds: usize,
-    budget: usize,
-    nodes_done: usize,
-    nodes_total: usize,
-    total_sent_per_node: &[u64],
-) {
-    report.phases.push((
-        phase,
-        PhaseOutcome::Stalled {
-            rounds,
-            budget,
-            nodes_done,
-            nodes_total,
-        },
-    ));
-    finish_totals(report, total_sent_per_node);
-}
-
-/// Folds one phase's metrics into the report; `remap` gives the original id of each
-/// simulated node when the phase ran on the remapped core. For remapped phases,
-/// crashes recorded at round 0 are *inherited* (a prior phase's crash pinned there
-/// by [`FaultPlan::shifted`]) and were already counted, so they are skipped.
-fn absorb_phase(
-    report: &mut BuildReport,
-    metrics: &RunMetrics,
-    total_sent_per_node: &mut [u64],
-    remap: Option<&[usize]>,
-) {
-    report.messages.absorb(metrics);
-    let inherited = if remap.is_some() {
-        metrics.per_round.first().map_or(0, |r| r.crashed)
-    } else {
-        0
-    };
-    report.crashed += metrics.total_crashed() - inherited;
-    report.joined += metrics.total_joined();
-    for (i, s) in metrics.total_sent_per_node.iter().enumerate() {
-        let orig = remap.map_or(i, |ids| ids[i]);
-        total_sent_per_node[orig] += s;
-    }
-}
-
-/// Called on every exit path before `report.result` is constructed, so the
-/// success path picks the final totals up from `report.messages`.
-fn finish_totals(report: &mut BuildReport, total_sent_per_node: &[u64]) {
-    report.messages.max_total_per_node = total_sent_per_node.iter().copied().max().unwrap_or(0);
+/// Maps a partial-core clean-path report to the honest [`OverlayError::Fragmented`]:
+/// the recorded `survivor-connectivity` event carries the component counts.
+fn fragmentation_error(report: &BuildReport) -> OverlayError {
+    report
+        .phases
+        .iter()
+        .find_map(|(name, outcome)| match outcome {
+            PhaseOutcome::Fragmented {
+                components,
+                core_size,
+            } if *name == "survivor-connectivity" => Some(OverlayError::Fragmented {
+                components: *components,
+                core_size: *core_size,
+            }),
+            _ => None,
+        })
+        .expect("a partial core is always preceded by a fragmentation event")
 }
 
 /// `(smaller id, larger id) -> (multiplicity at smaller, multiplicity at larger)`.
@@ -1203,6 +1035,184 @@ mod tests {
         // The reliability overhead is visible, not hidden.
         assert!(reliable.messages.retransmits > 0);
         assert!(reliable.messages.acks > 0);
+    }
+
+    #[test]
+    fn fragmentation_error_carries_the_component_counts() {
+        let report = BuildReport {
+            result: None,
+            phases: vec![
+                ("create-expander", PhaseOutcome::Completed { rounds: 10 }),
+                (
+                    "survivor-connectivity",
+                    PhaseOutcome::Fragmented {
+                        components: 4,
+                        core_size: 10,
+                    },
+                ),
+            ],
+            survivor_ids: Vec::new(),
+            alive_at_end: Vec::new(),
+            tree_valid_over_alive: false,
+            rounds: RoundBreakdown::default(),
+            messages: MessageStats::default(),
+            crashed: 0,
+            joined: 0,
+        };
+        assert_eq!(
+            fragmentation_error(&report),
+            OverlayError::Fragmented {
+                components: 4,
+                core_size: 10
+            }
+        );
+    }
+
+    #[test]
+    fn failure_error_is_honest_per_event_kind() {
+        let report_with = |phase: &'static str, outcome: PhaseOutcome| BuildReport {
+            result: None,
+            phases: vec![(phase, outcome)],
+            survivor_ids: Vec::new(),
+            alive_at_end: Vec::new(),
+            tree_valid_over_alive: false,
+            rounds: RoundBreakdown::default(),
+            messages: MessageStats::default(),
+            crashed: 0,
+            joined: 0,
+        };
+        let stalled = PhaseOutcome::Stalled {
+            rounds: 1,
+            budget: 14,
+            nodes_done: 128,
+            nodes_total: 128,
+        };
+        // A finalize "stall" is a validation verdict (the rounds completed, the
+        // parents were invalid), never a budget failure.
+        assert_eq!(
+            failure_error(&report_with("finalize", stalled)),
+            OverlayError::FinalizeFailed
+        );
+        // A genuine budget stall keeps its real budget.
+        assert_eq!(
+            failure_error(&report_with("binarize", stalled)),
+            OverlayError::PhaseIncomplete {
+                phase: "binarize",
+                budget: 14
+            }
+        );
+        assert_eq!(
+            failure_error(&report_with(
+                "survivor-connectivity",
+                PhaseOutcome::Fragmented {
+                    components: 0,
+                    core_size: 0
+                }
+            )),
+            OverlayError::Fragmented {
+                components: 0,
+                core_size: 0
+            }
+        );
+    }
+
+    #[test]
+    fn binarize_only_transport_rescues_a_binarize_window_partition() {
+        // A partition covering exactly the one-round binarization drops every
+        // cross-cut RelinkMsg: the bare pipeline finishes its schedule but the
+        // orphaned nodes keep their self-parent and `finalize` fails. Scoping the
+        // reliable transport to just the binarize phase retransmits the relinks
+        // after the heal — the construction and BFS phases stay on the paper's
+        // bare sends (their wall-rounds are untouched), yet the pipeline
+        // completes.
+        let n = 128;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(1);
+        let clean = OverlayBuilder::new(params).build(&g).expect("clean build");
+        let offset2 = clean.rounds.construction + clean.rounds.bfs;
+        let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::from).collect();
+        let plan = FaultPlan::default().with_partition(side_a, offset2, offset2 + 1);
+        let bare = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert!(
+            !bare.is_success(),
+            "the binarize-window partition must fail bare: {:?}",
+            bare.phases
+        );
+        let scoped = OverlayBuilder::new(params)
+            .with_phase_transport(
+                PhaseId::Binarize,
+                TransportChoice::Reliable(TransportConfig::default()),
+            )
+            .with_phase_budget(PhaseId::Binarize, RoundBudget::STANDARD.with_slack(12))
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert!(
+            scoped.is_success(),
+            "binarize-scoped transport must rescue the run: {:?}",
+            scoped.phases
+        );
+        // The bare phases are untouched by the override: identical wall-rounds.
+        assert_eq!(scoped.rounds.construction, clean.rounds.construction);
+        assert_eq!(scoped.rounds.bfs, clean.rounds.bfs);
+        // Reliability (acks, and the retransmissions that saved the run) is
+        // confined to the binarize phase: one ack per relink plus retries, not the
+        // tens of thousands a full-pipeline transport would deliver.
+        assert!(scoped.messages.retransmits > 0);
+        assert!(scoped.messages.acks > 0);
+        assert!(
+            scoped.messages.acks < 4 * n as u64,
+            "acks ({}) must stay confined to the binarize phase",
+            scoped.messages.acks
+        );
+    }
+
+    #[test]
+    fn phase_budget_override_targets_only_its_phase() {
+        // The late joiner needs extra construction budget; granting it to the
+        // wrong phase must not help, granting it to create-expander must.
+        let n = 32;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(13);
+        let base = ExpanderNode::total_rounds(&params) + 2;
+        let plan = FaultPlan::default().with_join(NodeId::from(3usize), base);
+        let wrong_phase = OverlayBuilder::new(params)
+            .with_phase_budget(PhaseId::Binarize, RoundBudget::percent(300))
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert_eq!(wrong_phase.stalled_phase(), Some("create-expander"));
+        let right_phase = OverlayBuilder::new(params)
+            .with_phase_budget(PhaseId::CreateExpander, RoundBudget::percent(150))
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert!(
+            right_phase
+                .phases
+                .iter()
+                .any(|(name, o)| *name == "create-expander" && !o.is_stall()),
+            "phases: {:?}",
+            right_phase.phases
+        );
+    }
+
+    #[test]
+    fn empty_phase_overrides_change_nothing() {
+        let n = 64;
+        let g = generators::line(n);
+        let params = ExpanderParams::for_n(n).with_seed(5);
+        let plan = FaultPlan::default().with_drop_prob(0.02);
+        let default_run = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        let explicit = OverlayBuilder::new(params)
+            .with_phase_overrides(PhaseOverrides::none())
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        assert_eq!(default_run.rounds, explicit.rounds);
+        assert_eq!(default_run.messages, explicit.messages);
+        assert_eq!(default_run.phases, explicit.phases);
+        assert_eq!(default_run.survivor_ids, explicit.survivor_ids);
     }
 
     #[test]

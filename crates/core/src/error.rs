@@ -28,6 +28,19 @@ pub enum OverlayError {
         /// The budget that was exhausted.
         budget: usize,
     },
+    /// The final evolution graph fragmented on the clean path, so the tree cannot
+    /// contain every node. Without injected faults this means the w.h.p.
+    /// connectivity of `G_L` failed for the chosen parameters/seed — possible, but
+    /// vanishingly unlikely with the defaults.
+    Fragmented {
+        /// Number of connected components among the survivors.
+        components: usize,
+        /// Size of the largest component (the core the pipeline continued with).
+        core_size: usize,
+    },
+    /// Every phase ran to completion but the binarized parents did not form a
+    /// single valid rooted tree over the alive nodes.
+    FinalizeFailed,
 }
 
 impl fmt::Display for OverlayError {
@@ -44,6 +57,17 @@ impl fmt::Display for OverlayError {
             }
             OverlayError::PhaseIncomplete { phase, budget } => {
                 write!(f, "phase {phase} did not finish within {budget} rounds")
+            }
+            OverlayError::Fragmented {
+                components,
+                core_size,
+            } => write!(
+                f,
+                "the final evolution graph fragmented into {components} components \
+                 (largest: {core_size} nodes)"
+            ),
+            OverlayError::FinalizeFailed => {
+                write!(f, "binarization did not produce a valid rooted tree")
             }
         }
     }
@@ -73,6 +97,12 @@ mod tests {
             budget: 7,
         };
         assert!(p.to_string().contains("bfs"));
+        let fr = OverlayError::Fragmented {
+            components: 3,
+            core_size: 42,
+        };
+        assert!(fr.to_string().contains('3') && fr.to_string().contains("42"));
+        assert!(OverlayError::FinalizeFailed.to_string().contains("tree"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod error;
 pub mod evolution;
 pub mod expander;
 mod params;
+pub mod pipeline;
 pub mod wellformed;
 
 pub use builder::{
@@ -55,4 +56,5 @@ pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};
 pub use overlay_netsim::TransportConfig;
 pub use params::{ExpanderParams, RoundBudget};
+pub use pipeline::{Phase, PhaseId, PhaseOverrides, PhaseRunner, TransportChoice};
 pub use wellformed::WellFormedTree;

@@ -1,0 +1,586 @@
+//! The first-class phase pipeline behind [`crate::OverlayBuilder`].
+//!
+//! The paper's construction is explicitly staged: `CreateExpander` turns the
+//! knowledge graph into an expander, BFS spans the survivor core, and a one-round
+//! binarization makes the tree well-formed. This module makes each stage a *value* —
+//! a [`Phase`] bundling its protocol nodes, its schedule-derived clean round count
+//! and the fault plan it runs against — and a [`PhaseRunner`] that owns, exactly
+//! once, the loop every stage shares: resolving the effective round budget and
+//! transport, building the [`SimConfig`] recipe, running the simulation, absorbing
+//! metrics into the [`BuildReport`], and recording stalls and fragmentation.
+//!
+//! [`crate::OverlayBuilder::build_under_faults`] is a thin facade over these types:
+//! it constructs the three phases, feeds them through one runner, and keeps only
+//! the typed hand-offs between stages (survivor-core extraction after
+//! `CreateExpander`, convergence checking after BFS, tree validation after
+//! binarization). Because budgets and transports resolve *per phase* — via
+//! [`PhaseOverrides`] — a caller can, e.g., run the reliable transport only for the
+//! one-round binarization where a single lost message is fatal, while the long
+//! construction phase stays on bare sends.
+
+use crate::bfs::BfsNode;
+use crate::builder::{BuildReport, PhaseOutcome, RoundBreakdown};
+use crate::expander::ExpanderNode;
+use crate::wellformed::BinarizeNode;
+use crate::{ExpanderParams, RoundBudget};
+use overlay_graph::{DiGraph, NodeId, UGraph};
+use overlay_netsim::faults::FaultPlan;
+use overlay_netsim::{Protocol, RunMetrics, SimConfig, Simulator, TransportConfig};
+use overlay_transport::Reliable;
+
+/// Identifies one of the three simulated phases of the paper's pipeline.
+///
+/// The pipeline-level events that are *derived* from a phase rather than simulated
+/// (`survivor-connectivity` fragmentation after construction, `bfs-convergence`
+/// agreement, the `finalize` tree validation) are reported under their own names in
+/// [`BuildReport::phases`] and have no `PhaseId`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseId {
+    /// The `CreateExpander` evolutions over the full initial graph.
+    CreateExpander,
+    /// The BFS flood over the survivor-core expander.
+    Bfs,
+    /// The one-round tree binarization.
+    Binarize,
+}
+
+impl PhaseId {
+    /// All phases, in pipeline order.
+    pub const ALL: [PhaseId; 3] = [PhaseId::CreateExpander, PhaseId::Bfs, PhaseId::Binarize];
+
+    /// The phase's report name (`create-expander`, `bfs`, `binarize`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseId::CreateExpander => "create-expander",
+            PhaseId::Bfs => "bfs",
+            PhaseId::Binarize => "binarize",
+        }
+    }
+
+    /// Position in pipeline order (also the per-phase seed offset: each phase's
+    /// simulator runs on `params.seed + index`, which is what keeps pipeline runs
+    /// byte-identical to the historical three-block implementation).
+    pub fn index(self) -> usize {
+        match self {
+            PhaseId::CreateExpander => 0,
+            PhaseId::Bfs => 1,
+            PhaseId::Binarize => 2,
+        }
+    }
+
+    /// The event name pushed on simulated completion, or `None` when completion is
+    /// judged later by a derived step (binarization completes only if the
+    /// `finalize` validation accepts the tree, so its success event is pushed
+    /// there).
+    fn completed_event(self) -> Option<&'static str> {
+        match self {
+            PhaseId::CreateExpander | PhaseId::Bfs => Some(self.name()),
+            PhaseId::Binarize => None,
+        }
+    }
+}
+
+/// One stage of the pipeline as a value: the protocol nodes to simulate, the
+/// schedule-derived clean round count, and the fault plan for the stage's window.
+///
+/// Budgets and transports are *not* part of a phase: they are resolved by the
+/// [`PhaseRunner`] from its builder-wide defaults and the per-phase
+/// [`PhaseOverrides`], so the same phase value runs identically under any policy.
+#[derive(Clone, Debug)]
+pub struct Phase<P> {
+    id: PhaseId,
+    nodes: Vec<P>,
+    clean_rounds: usize,
+    faults: FaultPlan,
+}
+
+impl<P> Phase<P> {
+    /// A phase from raw parts. The typed constructors
+    /// ([`Phase::create_expander`], [`Phase::bfs`], [`Phase::binarize`]) build the
+    /// paper's stages; this escape hatch lets experiments run a custom protocol
+    /// under the shared budget/metrics/stall machinery.
+    pub fn from_parts(id: PhaseId, nodes: Vec<P>, clean_rounds: usize, faults: FaultPlan) -> Self {
+        Phase {
+            id,
+            nodes,
+            clean_rounds,
+            faults,
+        }
+    }
+
+    /// Which paper phase this is.
+    pub fn id(&self) -> PhaseId {
+        self.id
+    }
+
+    /// The clean-network round count of the stage's schedule (before any
+    /// [`RoundBudget`] scaling).
+    pub fn clean_rounds(&self) -> usize {
+        self.clean_rounds
+    }
+
+    /// The protocol nodes the stage will simulate.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+}
+
+impl Phase<ExpanderNode> {
+    /// The `CreateExpander` phase over every node of the initial knowledge graph
+    /// `g` (late joiners included; the fault router keeps them dormant until their
+    /// join round). The clean schedule is `L·(ℓ+1) + 1` evolution rounds plus the
+    /// intro round and the final done round.
+    pub fn create_expander(g: &DiGraph, params: &ExpanderParams, faults: FaultPlan) -> Self {
+        let nodes: Vec<ExpanderNode> = g
+            .nodes()
+            .map(|v| {
+                let mut out: Vec<NodeId> = g.out_neighbors(v).to_vec();
+                out.sort_unstable();
+                out.dedup();
+                ExpanderNode::new(v, out, *params)
+            })
+            .collect();
+        Phase::from_parts(
+            PhaseId::CreateExpander,
+            nodes,
+            ExpanderNode::total_rounds(params) + 2,
+            faults,
+        )
+    }
+}
+
+impl Phase<BfsNode> {
+    /// The BFS phase over the (remapped) survivor-core expander.
+    pub fn bfs(expander: &UGraph, params: &ExpanderParams, faults: FaultPlan) -> Self {
+        let nodes: Vec<BfsNode> = expander
+            .nodes()
+            .map(|v| BfsNode::new(v, expander.distinct_neighbors(v), params.bfs_rounds))
+            .collect();
+        Phase::from_parts(
+            PhaseId::Bfs,
+            nodes,
+            BfsNode::total_rounds(params.bfs_rounds) + 1,
+            faults,
+        )
+    }
+}
+
+impl Phase<BinarizeNode> {
+    /// The one-round binarization phase, handed off from the finished BFS states.
+    pub fn binarize(bfs: &[BfsNode], faults: FaultPlan) -> Self {
+        let nodes: Vec<BinarizeNode> = bfs
+            .iter()
+            .map(|b| BinarizeNode::new(b.id(), b.parent(), b.children().to_vec()))
+            .collect();
+        Phase::from_parts(
+            PhaseId::Binarize,
+            nodes,
+            BinarizeNode::total_rounds() + 1,
+            faults,
+        )
+    }
+}
+
+/// A per-phase transport decision: run the phase's protocol bare, or behind the
+/// reliable-delivery layer with the given configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransportChoice {
+    /// The paper's setting: one-shot sends, no acknowledgments.
+    Bare,
+    /// The `overlay-transport` reliable-delivery layer with this configuration.
+    Reliable(TransportConfig),
+}
+
+/// Per-phase overrides of the builder-wide round budget and transport.
+///
+/// Unset entries inherit the builder's globals, so an empty override set (the
+/// default) reproduces builder-global behavior bit-for-bit. Overrides let a
+/// scenario spend reliability (or budget headroom) only where the protocol needs
+/// it — e.g. reliable transport for the one-round binarize phase, whose single
+/// lost message is unrecoverable, while the `O(log n)`-round construction phase
+/// keeps the cheap bare sends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PhaseOverrides {
+    budgets: [Option<RoundBudget>; 3],
+    transports: [Option<TransportChoice>; 3],
+}
+
+impl PhaseOverrides {
+    /// No overrides: every phase inherits the builder-wide budget and transport.
+    pub fn none() -> Self {
+        PhaseOverrides::default()
+    }
+
+    /// Returns the overrides with `id`'s round budget pinned to `budget`.
+    pub fn with_budget(mut self, id: PhaseId, budget: RoundBudget) -> Self {
+        self.budgets[id.index()] = Some(budget);
+        self
+    }
+
+    /// Returns the overrides with `id`'s transport pinned to `choice`.
+    pub fn with_transport(mut self, id: PhaseId, choice: TransportChoice) -> Self {
+        self.transports[id.index()] = Some(choice);
+        self
+    }
+
+    /// The budget override for `id`, if one is set.
+    pub fn budget(&self, id: PhaseId) -> Option<RoundBudget> {
+        self.budgets[id.index()]
+    }
+
+    /// The transport override for `id`, if one is set.
+    pub fn transport(&self, id: PhaseId) -> Option<TransportChoice> {
+        self.transports[id.index()]
+    }
+
+    /// `true` when no phase overrides anything (pure builder-global behavior).
+    pub fn is_empty(&self) -> bool {
+        self.budgets.iter().all(Option::is_none) && self.transports.iter().all(Option::is_none)
+    }
+}
+
+/// Marker returned by [`PhaseRunner::run`] when the phase stalled: the stall has
+/// already been recorded in the report and the pipeline must exit via
+/// [`PhaseRunner::into_report`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stalled;
+
+/// A completed phase execution: the protocol states after the run (unwrapped from
+/// the transport adapter when one was configured) and the facts later stages need.
+#[derive(Clone, Debug)]
+pub struct PhaseRun<P> {
+    /// The protocol states after the run, in node order.
+    pub nodes: Vec<P>,
+    /// Liveness of each simulated node when the phase ended.
+    pub alive: Vec<bool>,
+    /// Rounds the phase executed.
+    pub rounds: usize,
+    /// The round budget the phase ran under (after scaling and slack) — derived
+    /// steps that stall *after* the simulation (BFS convergence) report against it.
+    pub budget: usize,
+}
+
+/// Runs the pipeline's phases against one shared [`BuildReport`], owning the
+/// per-phase boilerplate — budget resolution, [`SimConfig`] recipe, simulation,
+/// metrics absorption, stall and fragmentation recording — that
+/// `build_under_faults` previously hand-rolled once per phase.
+///
+/// The runner is deliberately dumb about *what* the phases compute: hand-offs
+/// between stages (core extraction, convergence checks, tree validation) stay in
+/// the caller, which consumes each [`PhaseRun`] and finally takes the report back
+/// with [`PhaseRunner::into_report`].
+#[derive(Clone, Debug)]
+pub struct PhaseRunner {
+    ncc0_cap: usize,
+    seed: u64,
+    default_budget: RoundBudget,
+    default_transport: Option<TransportConfig>,
+    overrides: PhaseOverrides,
+    /// Original ids of the core nodes once the pipeline has remapped onto the
+    /// survivor core; phases run after [`PhaseRunner::adopt_core`] fold their
+    /// per-node totals (and inherited-crash corrections) through this mapping.
+    core: Option<Vec<usize>>,
+    report: BuildReport,
+    total_sent_per_node: Vec<u64>,
+}
+
+impl PhaseRunner {
+    /// A runner over `n` initial nodes with the given builder-wide defaults and
+    /// per-phase overrides.
+    pub fn new(
+        n: usize,
+        params: &ExpanderParams,
+        budget: RoundBudget,
+        transport: Option<TransportConfig>,
+        overrides: PhaseOverrides,
+    ) -> Self {
+        PhaseRunner {
+            ncc0_cap: params.ncc0_cap,
+            seed: params.seed,
+            default_budget: budget,
+            default_transport: transport,
+            overrides,
+            core: None,
+            report: BuildReport {
+                result: None,
+                phases: Vec::new(),
+                survivor_ids: Vec::new(),
+                alive_at_end: Vec::new(),
+                tree_valid_over_alive: false,
+                rounds: RoundBreakdown::default(),
+                messages: Default::default(),
+                crashed: 0,
+                joined: 0,
+            },
+            total_sent_per_node: vec![0; n],
+        }
+    }
+
+    /// The round budget `id` will run under: its override, or the builder-wide
+    /// default.
+    pub fn effective_budget(&self, id: PhaseId) -> RoundBudget {
+        self.overrides.budget(id).unwrap_or(self.default_budget)
+    }
+
+    /// The transport `id` will run behind: its override, or the builder-wide
+    /// default (`None` = bare sends).
+    pub fn effective_transport(&self, id: PhaseId) -> Option<TransportConfig> {
+        match self.overrides.transport(id) {
+            None => self.default_transport,
+            Some(TransportChoice::Bare) => None,
+            Some(TransportChoice::Reliable(config)) => Some(config),
+        }
+    }
+
+    /// Declares the survivor core the pipeline continues with: `core_old_ids[i]`
+    /// is the original id of remapped node `i`. Sets the report's
+    /// [`BuildReport::survivor_ids`] and makes subsequent phases fold their
+    /// metrics through the mapping.
+    pub fn adopt_core(&mut self, core_old_ids: &[usize]) {
+        self.report.survivor_ids = core_old_ids.iter().map(|&v| NodeId::from(v)).collect();
+        self.core = Some(core_old_ids.to_vec());
+    }
+
+    /// Runs one phase end to end: resolves budget and transport, simulates,
+    /// records the phase's rounds, absorbs its metrics, and either records the
+    /// stall (returning [`Stalled`]) or pushes the completion event and hands the
+    /// protocol states back for the next stage.
+    pub fn run<P: Protocol>(&mut self, phase: Phase<P>) -> Result<PhaseRun<P>, Stalled> {
+        let Phase {
+            id,
+            nodes,
+            clean_rounds,
+            faults,
+        } = phase;
+        let budget = self.effective_budget(id).apply(clean_rounds);
+        let config = SimConfig::ncc0_capped(
+            self.ncc0_cap,
+            self.seed.wrapping_add(id.index() as u64),
+            faults,
+        );
+        let run = run_phase(nodes, config, budget, self.effective_transport(id));
+        let rounds = run.outcome.rounds;
+        match id {
+            PhaseId::CreateExpander => self.report.rounds.construction = rounds,
+            PhaseId::Bfs => self.report.rounds.bfs = rounds,
+            PhaseId::Binarize => self.report.rounds.finalize = rounds,
+        }
+        self.absorb(&run.metrics);
+        if !run.outcome.all_done {
+            self.stall(id.name(), rounds, budget, run.done_count, run.alive.len());
+            return Err(Stalled);
+        }
+        if let Some(event) = id.completed_event() {
+            self.report
+                .phases
+                .push((event, PhaseOutcome::Completed { rounds }));
+        }
+        Ok(PhaseRun {
+            nodes: run.nodes,
+            alive: run.alive,
+            rounds,
+            budget,
+        })
+    }
+
+    /// Records a stalled phase (or derived step, e.g. `bfs-convergence`). Every
+    /// stall exits the pipeline, so the caller follows with
+    /// [`PhaseRunner::into_report`].
+    pub fn stall(
+        &mut self,
+        phase: &'static str,
+        rounds: usize,
+        budget: usize,
+        nodes_done: usize,
+        nodes_total: usize,
+    ) {
+        self.report.phases.push((
+            phase,
+            PhaseOutcome::Stalled {
+                rounds,
+                budget,
+                nodes_done,
+                nodes_total,
+            },
+        ));
+    }
+
+    /// Records post-construction fragmentation of the survivors (the
+    /// `survivor-connectivity` derived step).
+    pub fn fragmented(&mut self, components: usize, core_size: usize) {
+        self.report.phases.push((
+            "survivor-connectivity",
+            PhaseOutcome::Fragmented {
+                components,
+                core_size,
+            },
+        ));
+    }
+
+    /// Closes the per-node totals and hands the accumulated report back to the
+    /// caller for the final hand-off (tree validation) or early exit.
+    pub fn into_report(self) -> BuildReport {
+        let mut report = self.report;
+        report.messages.max_total_per_node =
+            self.total_sent_per_node.iter().copied().max().unwrap_or(0);
+        report
+    }
+
+    /// Folds one phase's metrics into the report. For phases running on the
+    /// remapped core, crashes recorded at round 0 are *inherited* (a prior
+    /// phase's crash pinned there by [`FaultPlan::shifted`]) and were already
+    /// counted, so they are skipped, and per-node totals are mapped back to
+    /// original ids.
+    fn absorb(&mut self, metrics: &RunMetrics) {
+        self.report.messages.absorb(metrics);
+        let inherited = if self.core.is_some() {
+            metrics.per_round.first().map_or(0, |r| r.crashed)
+        } else {
+            0
+        };
+        self.report.crashed += metrics.total_crashed() - inherited;
+        self.report.joined += metrics.total_joined();
+        for (i, s) in metrics.total_sent_per_node.iter().enumerate() {
+            let orig = self.core.as_ref().map_or(i, |ids| ids[i]);
+            self.total_sent_per_node[orig] += s;
+        }
+    }
+}
+
+/// One simulated phase's raw outcome, with the protocol states already unwrapped
+/// from the optional transport adapter.
+struct RawRun<P> {
+    nodes: Vec<P>,
+    outcome: overlay_netsim::RunOutcome,
+    metrics: RunMetrics,
+    alive: Vec<bool>,
+    done_count: usize,
+}
+
+/// Runs one phase of the pipeline — behind the reliable transport layer when one
+/// is configured, bare otherwise — and extracts everything the pipeline needs
+/// from the simulator. With a transport, `is_done` (and therefore `done_count`
+/// and the phase's wall-rounds) includes the transport's own drain condition:
+/// a node holding unacknowledged data keeps the phase alive so retransmissions
+/// can land.
+fn run_phase<P: Protocol>(
+    nodes: Vec<P>,
+    config: SimConfig,
+    budget: usize,
+    transport: Option<TransportConfig>,
+) -> RawRun<P> {
+    fn finish<Q: Protocol, P>(
+        mut sim: Simulator<Q>,
+        budget: usize,
+        unwrap: impl Fn(Q) -> P,
+    ) -> RawRun<P> {
+        let outcome = sim.run(budget);
+        let alive = (0..sim.node_count())
+            .map(|i| sim.is_active(NodeId::from(i)))
+            .collect();
+        let done_count = sim.done_count();
+        let metrics = sim.metrics().clone();
+        RawRun {
+            nodes: sim.into_nodes().into_iter().map(unwrap).collect(),
+            outcome,
+            metrics,
+            alive,
+            done_count,
+        }
+    }
+    match transport {
+        Some(cfg) => finish(
+            Simulator::new(
+                nodes.into_iter().map(|p| Reliable::new(p, cfg)).collect(),
+                config,
+            ),
+            budget,
+            Reliable::into_inner,
+        ),
+        None => finish(Simulator::new(nodes, config), budget, |p| p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_ids_name_the_report_events() {
+        assert_eq!(PhaseId::CreateExpander.name(), "create-expander");
+        assert_eq!(PhaseId::Bfs.name(), "bfs");
+        assert_eq!(PhaseId::Binarize.name(), "binarize");
+        assert_eq!(PhaseId::ALL.map(PhaseId::index), [0, 1, 2]);
+    }
+
+    #[test]
+    fn overrides_default_to_inheriting_everything() {
+        let o = PhaseOverrides::none();
+        assert!(o.is_empty());
+        for id in PhaseId::ALL {
+            assert_eq!(o.budget(id), None);
+            assert_eq!(o.transport(id), None);
+        }
+        assert_eq!(o, PhaseOverrides::default());
+    }
+
+    #[test]
+    fn overrides_are_per_phase() {
+        let o = PhaseOverrides::none()
+            .with_budget(PhaseId::Binarize, RoundBudget::percent(200))
+            .with_transport(
+                PhaseId::Binarize,
+                TransportChoice::Reliable(TransportConfig::default()),
+            )
+            .with_transport(PhaseId::Bfs, TransportChoice::Bare);
+        assert!(!o.is_empty());
+        assert_eq!(o.budget(PhaseId::Binarize), Some(RoundBudget::percent(200)));
+        assert_eq!(o.budget(PhaseId::CreateExpander), None);
+        assert_eq!(o.transport(PhaseId::Bfs), Some(TransportChoice::Bare));
+        assert_eq!(
+            o.transport(PhaseId::Binarize),
+            Some(TransportChoice::Reliable(TransportConfig::default()))
+        );
+        assert_eq!(o.transport(PhaseId::CreateExpander), None);
+    }
+
+    #[test]
+    fn runner_resolves_overrides_against_defaults() {
+        let params = ExpanderParams::for_n(32);
+        let overrides = PhaseOverrides::none()
+            .with_budget(PhaseId::Bfs, RoundBudget::percent(300))
+            .with_transport(PhaseId::Binarize, TransportChoice::Bare);
+        let runner = PhaseRunner::new(
+            32,
+            &params,
+            RoundBudget::percent(150),
+            Some(TransportConfig::default()),
+            overrides,
+        );
+        // Overridden phases use their own values...
+        assert_eq!(
+            runner.effective_budget(PhaseId::Bfs),
+            RoundBudget::percent(300)
+        );
+        assert_eq!(runner.effective_transport(PhaseId::Binarize), None);
+        // ...everything else inherits the builder-wide defaults.
+        assert_eq!(
+            runner.effective_budget(PhaseId::CreateExpander),
+            RoundBudget::percent(150)
+        );
+        assert_eq!(
+            runner.effective_transport(PhaseId::Bfs),
+            Some(TransportConfig::default())
+        );
+    }
+
+    #[test]
+    fn phases_carry_their_clean_schedule() {
+        let params = ExpanderParams::for_n(32);
+        let g = overlay_graph::generators::cycle(32);
+        let p = Phase::create_expander(&g, &params, FaultPlan::default());
+        assert_eq!(p.id(), PhaseId::CreateExpander);
+        assert_eq!(p.clean_rounds(), ExpanderNode::total_rounds(&params) + 2);
+        assert_eq!(p.nodes().len(), 32);
+    }
+}

@@ -1,7 +1,7 @@
 //! Connected components and per-component well-formed trees (Theorem 1.2).
 //!
 //! The pipeline follows Section 4.2: the initial graph (arbitrary degree, possibly
-//! disconnected) is degree-reduced with [`crate::sparsify`], and on every connected
+//! disconnected) is degree-reduced with [`crate::sparsify()`], and on every connected
 //! component of the reduced graph the NCC0 construction of `overlay-core` is executed
 //! with parameters sized for the component. The result is a well-formed tree per
 //! component; the component identifier is the root of that tree.

@@ -5,7 +5,7 @@
 //! initial graph with a polylogarithmic per-node budget of *global* (overlay) messages.
 //! On top of the NCC0 pipeline of `overlay-core`, this crate provides:
 //!
-//! * [`sparsify`] — the degree-reduction preprocessing of Section 4.2: an
+//! * [`sparsify`](mod@sparsify) — the degree-reduction preprocessing of Section 4.2: an
 //!   Elkin–Neiman-style spanner followed by edge delegation turns a graph of arbitrary
 //!   degree into a graph `H` of degree `O(log n)` with the same connected components.
 //! * [`components`] (Theorem 1.2) — a well-formed tree on every connected component.

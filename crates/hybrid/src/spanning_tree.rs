@@ -5,7 +5,7 @@
 //! edges (of the degree-reduced graph `H`, whose edges in turn map back to initial
 //! edges via the spanner and the delegation centers). The algorithm therefore:
 //!
-//! 1. degree-reduces the graph ([`crate::sparsify`]),
+//! 1. degree-reduces the graph ([`crate::sparsify()`]),
 //! 2. runs the evolutions while annotating every established edge with the walk that
 //!    created it ([`TracedEvolution`]),
 //! 3. takes a BFS tree of the final low-diameter graph `G_{L'}`,

@@ -45,6 +45,20 @@ impl SimConfig {
         }
     }
 
+    /// The NCC0 model with an explicit per-node, per-round message cap — the
+    /// configuration recipe of one overlay-construction pipeline phase: the cap and
+    /// seed come from the phase's parameter schedule and the fault plan is the
+    /// (shifted, remapped) remainder of the run's plan. Unlike [`SimConfig::ncc0`],
+    /// nothing is derived from `n`; the caller owns the exact cap.
+    pub fn ncc0_capped(per_round: usize, seed: u64, faults: FaultPlan) -> Self {
+        SimConfig {
+            caps: CapacityModel::Ncc0 { per_round },
+            seed,
+            local_edges: None,
+            faults,
+        }
+    }
+
     /// A convenience constructor for the hybrid model with the given local adjacency.
     pub fn hybrid(local_edges: Vec<Vec<NodeId>>, cap_factor: usize, seed: u64) -> Self {
         let n = local_edges.len();
@@ -76,7 +90,7 @@ pub struct RunOutcome {
 ///
 /// The arena is the simulator's message plumbing: during dispatch it is the *staging*
 /// area (envelopes appended in routing order, tagged with their recipient), and at the
-/// start of the next round [`EnvelopeArena::group`] counting-sorts it in place so each
+/// start of the next round `EnvelopeArena::group` counting-sorts it in place so each
 /// node's inbox becomes one contiguous `(offset, len)` slice of a single buffer. The
 /// buffers are **cleared, never reallocated**, between rounds, so a steady-state round
 /// performs no per-inbox allocations at all — unlike the `Vec`-of-`Vec`s layout this

@@ -21,15 +21,18 @@
 //!    [`overlay_netsim::FaultPlan`] in [`FaultSpec::lower`] — keep every random choice
 //!    derived from the `seed` argument so reruns are reproducible.
 //! 2. Append a `Scenario { name, description, family, n, capacity, faults,
-//!    round_budget, transport }` entry to [`registry`]. Names are kebab-case and
-//!    unique; the registry test enforces this. Declare a [`RoundBudget`] above
-//!    [`RoundBudget::STANDARD`] only when the fault model legitimately stretches
-//!    wall-rounds (delivery jitter, late joins, reliable-transport retry
-//!    round-trips). Set `transport: Some(TransportConfig)` to run the pipeline
-//!    over the `overlay-transport` reliability layer — by convention such
-//!    scenarios are `-reliable` twins of a bare baseline, so the report pair
-//!    isolates what reliability costs (acks, retransmissions, extra rounds) and
-//!    buys (completed seeds) per fault family.
+//!    round_budget, transport, phases }` entry to [`registry`]. Names are
+//!    kebab-case and unique; the registry test enforces this. Declare a
+//!    [`RoundBudget`] above [`RoundBudget::STANDARD`] only when the fault model
+//!    legitimately stretches wall-rounds (delivery jitter, late joins,
+//!    reliable-transport retry round-trips). Set `transport:
+//!    Some(TransportConfig)` to run the pipeline over the `overlay-transport`
+//!    reliability layer — by convention such scenarios are `-reliable` twins of a
+//!    bare baseline, so the report pair isolates what reliability costs (acks,
+//!    retransmissions, extra rounds) and buys (completed seeds) per fault family.
+//!    Use `phases` ([`PhaseOverrides`]) to scope a budget or transport to a
+//!    single pipeline phase (e.g. reliable delivery only for the one-round
+//!    binarization); non-empty overrides are recorded in the report header.
 //! 3. There is no step 3: sweeps, aggregation, JSON reports, persisted
 //!    `reports/<name>.json` files and the experiments binary pick the new entry up
 //!    automatically.
@@ -59,7 +62,7 @@ mod scenario;
 mod sweep;
 
 pub use json::Json;
-pub use overlay_core::RoundBudget;
+pub use overlay_core::{PhaseId, PhaseOverrides, RoundBudget, TransportChoice};
 pub use overlay_netsim::TransportConfig;
 pub use registry::{find, full_registry, registry};
 pub use scenario::{CapacityProfile, FaultSpec, GraphFamily, RunRecord, Scenario};

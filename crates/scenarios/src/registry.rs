@@ -1,7 +1,7 @@
 //! The built-in named scenarios.
 
 use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario};
-use overlay_core::RoundBudget;
+use overlay_core::{PhaseOverrides, RoundBudget};
 use overlay_netsim::TransportConfig;
 
 /// Returns the built-in scenarios, clean baselines first.
@@ -20,6 +20,7 @@ pub fn registry() -> Vec<Scenario> {
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "clean-expander",
@@ -30,6 +31,7 @@ pub fn registry() -> Vec<Scenario> {
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "lossy-ncc0",
@@ -41,6 +43,7 @@ pub fn registry() -> Vec<Scenario> {
             faults: FaultSpec::Lossy { drop_prob: 0.002 },
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "lossy-ncc0-heavy",
@@ -52,6 +55,7 @@ pub fn registry() -> Vec<Scenario> {
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "delay-jitter",
@@ -71,6 +75,7 @@ pub fn registry() -> Vec<Scenario> {
             // `join-churn` below.
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "mid-build-crash-wave",
@@ -84,6 +89,7 @@ pub fn registry() -> Vec<Scenario> {
             },
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "join-churn",
@@ -98,6 +104,7 @@ pub fn registry() -> Vec<Scenario> {
             },
             round_budget: RoundBudget::percent(150),
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "partition-heal",
@@ -112,6 +119,7 @@ pub fn registry() -> Vec<Scenario> {
             },
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "tight-caps",
@@ -122,6 +130,7 @@ pub fn registry() -> Vec<Scenario> {
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         },
         // ---- Reliable-transport twins -------------------------------------
         // Each twin keeps its baseline's graph, size, capacity and fault load and
@@ -145,6 +154,7 @@ pub fn registry() -> Vec<Scenario> {
             // never give the 1-round binarize phase meaningful retry headroom.
             round_budget: RoundBudget::STANDARD.with_slack(12),
             transport: Some(TransportConfig::default()),
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "lossy-ncc0-heavy-reliable",
@@ -156,6 +166,7 @@ pub fn registry() -> Vec<Scenario> {
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
             round_budget: RoundBudget::STANDARD.with_slack(12),
             transport: Some(TransportConfig::default()),
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "delay-jitter-reliable",
@@ -171,6 +182,7 @@ pub fn registry() -> Vec<Scenario> {
             },
             round_budget: RoundBudget::STANDARD.with_slack(12),
             transport: Some(TransportConfig::default()),
+            phases: PhaseOverrides::none(),
         },
         Scenario {
             name: "partition-heal-reliable",
@@ -186,6 +198,45 @@ pub fn registry() -> Vec<Scenario> {
             },
             round_budget: RoundBudget::STANDARD.with_slack(12),
             transport: Some(TransportConfig::default()),
+            phases: PhaseOverrides::none(),
+        },
+        Scenario {
+            name: "crash-ncc0-reliable",
+            description: "Twin of mid-build-crash-wave over the reliable \
+                          transport with a small give-up budget \
+                          (max_retransmits = 4): messages to crashed peers are \
+                          abandoned after a few retries instead of burning the \
+                          full retransmission budget — this documents the cost \
+                          of reliability against faults it cannot heal",
+            family: GraphFamily::RandomRegular { degree: 4 },
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::CrashWave {
+                fraction: 0.10,
+                at: 0.33,
+            },
+            round_budget: RoundBudget::STANDARD.with_slack(12),
+            transport: Some(TransportConfig::default().with_max_retransmits(4)),
+            phases: PhaseOverrides::none(),
+        },
+        Scenario {
+            name: "join-churn-reliable",
+            description: "Twin of join-churn over the reliable transport: \
+                          messages to dormant joiners are retried until they \
+                          activate, but the schedule-driven evolutions have \
+                          moved on by then, so late deliveries are stale — \
+                          coverage barely improves and the twin documents that \
+                          retransmission alone cannot rescue join churn",
+            family: GraphFamily::Cycle,
+            n: 128,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::JoinChurn {
+                fraction: 0.15,
+                spread: 0.40,
+            },
+            round_budget: RoundBudget::percent(150).with_slack(12),
+            transport: Some(TransportConfig::default()),
+            phases: PhaseOverrides::none(),
         },
     ]
 }
@@ -212,6 +263,7 @@ pub fn full_registry() -> Vec<Scenario> {
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         });
         scenarios.push(Scenario {
             name: match n {
@@ -225,6 +277,7 @@ pub fn full_registry() -> Vec<Scenario> {
             faults: FaultSpec::Lossy { drop_prob: 0.002 },
             round_budget: RoundBudget::STANDARD.with_slack(12),
             transport: Some(TransportConfig::default()),
+            phases: PhaseOverrides::none(),
         });
     }
     scenarios
@@ -272,6 +325,8 @@ mod tests {
             ("lossy-ncc0-heavy-reliable", "lossy-ncc0-heavy"),
             ("delay-jitter-reliable", "delay-jitter"),
             ("partition-heal-reliable", "partition-heal"),
+            ("crash-ncc0-reliable", "mid-build-crash-wave"),
+            ("join-churn-reliable", "join-churn"),
         ] {
             let twin = find(twin).expect("twin registered");
             let baseline = find(baseline).expect("baseline registered");

@@ -1,6 +1,6 @@
 //! The declarative scenario type and its lowering into concrete runs.
 
-use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder, RoundBudget};
+use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder, PhaseOverrides, RoundBudget};
 use overlay_graph::{generators, DiGraph, NodeId};
 use overlay_netsim::{FaultPlan, TransportConfig};
 use rand::rngs::StdRng;
@@ -243,6 +243,12 @@ pub struct Scenario {
     /// field identical so their reports read as a direct paper-vs-fault-tolerant
     /// comparison.
     pub transport: Option<TransportConfig>,
+    /// Per-phase overrides of `round_budget` and `transport`
+    /// ([`PhaseOverrides::none`] inherits the scenario-wide settings for every
+    /// phase). This is how a scenario spends reliability or budget headroom on
+    /// just the phase that needs it — e.g. reliable transport only for the
+    /// one-round binarize phase. Recorded in the report header when non-empty.
+    pub phases: PhaseOverrides,
 }
 
 /// The outcome of one `(scenario, seed)` run.
@@ -308,7 +314,9 @@ impl Scenario {
         self.capacity.apply(&mut params);
         let g = self.family.build(n, seed ^ 0x6EED_5EED);
         let plan = self.faults.lower(n, &params, seed);
-        let mut builder = OverlayBuilder::new(params).with_round_budget(self.round_budget);
+        let mut builder = OverlayBuilder::new(params)
+            .with_round_budget(self.round_budget)
+            .with_phase_overrides(self.phases);
         if let Some(transport) = self.transport {
             builder = builder.with_reliable_transport(transport);
         }
@@ -454,6 +462,7 @@ mod tests {
             faults: FaultSpec::Clean,
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         };
         let r = s.run(3);
         assert!(r.success && r.completed);
@@ -474,6 +483,7 @@ mod tests {
             faults: FaultSpec::Lossy { drop_prob: 0.05 },
             round_budget: RoundBudget::percent(125),
             transport: None,
+            phases: PhaseOverrides::none(),
         };
         assert_eq!(s.run(11), s.run(11));
     }
@@ -489,6 +499,7 @@ mod tests {
             faults: FaultSpec::Lossy { drop_prob: 0.02 },
             round_budget: RoundBudget::STANDARD,
             transport: None,
+            phases: PhaseOverrides::none(),
         };
         let reliable = Scenario {
             round_budget: RoundBudget::percent(200),

@@ -3,6 +3,7 @@
 
 use crate::json::Json;
 use crate::scenario::{RunRecord, Scenario};
+use overlay_core::{PhaseId, PhaseOverrides, TransportChoice};
 use rayon::prelude::*;
 use std::time::Duration;
 
@@ -134,7 +135,7 @@ impl SweepReport {
     /// reports answers "did behavior change?".
     pub fn to_json(&self) -> Json {
         let (rounds_min, rounds_max) = self.round_range();
-        Json::obj(vec![
+        let mut fields = vec![
             ("scenario", Json::Str(self.scenario.name.to_string())),
             (
                 "description",
@@ -169,6 +170,18 @@ impl SweepReport {
                     .to_string(),
                 ),
             ),
+        ];
+        // Per-phase overrides are recorded only when the scenario declares any:
+        // pre-override reports (and every scenario that inherits the scenario-wide
+        // settings everywhere) keep their exact historical header, so the committed
+        // baselines stay byte-identical.
+        if !self.scenario.phases.is_empty() {
+            fields.push((
+                "phase_overrides",
+                phase_overrides_json(&self.scenario.phases),
+            ));
+        }
+        fields.extend(vec![
             ("seeds", Json::Int(self.records.len() as i64)),
             ("success_rate", Json::Num(self.success_rate())),
             ("mean_coverage", Json::Num(self.mean_coverage())),
@@ -193,7 +206,8 @@ impl SweepReport {
                 "runs",
                 Json::Arr(self.records.iter().map(record_json).collect()),
             ),
-        ])
+        ]);
+        Json::obj(fields)
     }
 
     /// Renders the deterministic JSON report as a pretty string.
@@ -216,6 +230,33 @@ impl SweepReport {
             self.workers,
         )
     }
+}
+
+/// The header entry for a scenario's per-phase overrides: one object per phase
+/// that overrides anything, with only the overridden knobs present.
+fn phase_overrides_json(overrides: &PhaseOverrides) -> Json {
+    let mut phases = Vec::new();
+    for id in PhaseId::ALL {
+        let mut fields = Vec::new();
+        if let Some(budget) = overrides.budget(id) {
+            fields.push((
+                "round_budget_percent",
+                Json::Int(budget.as_percent() as i64),
+            ));
+            fields.push(("round_budget_slack", Json::Int(budget.slack() as i64)));
+        }
+        match overrides.transport(id) {
+            None => {}
+            Some(TransportChoice::Bare) => fields.push(("transport", Json::Str("none".into()))),
+            Some(TransportChoice::Reliable(_)) => {
+                fields.push(("transport", Json::Str("reliable".into())))
+            }
+        }
+        if !fields.is_empty() {
+            phases.push((id.name(), Json::obj(fields)));
+        }
+    }
+    Json::obj(phases)
 }
 
 fn record_json(r: &RunRecord) -> Json {
@@ -266,6 +307,7 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 mod tests {
     use super::*;
     use crate::registry::find;
+    use overlay_core::RoundBudget;
 
     #[test]
     fn parallel_and_sequential_sweeps_agree() {
@@ -315,6 +357,36 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), 4, "wrapped seed ranges must stay distinct");
+    }
+
+    #[test]
+    fn phase_overrides_appear_in_the_header_only_when_declared() {
+        let bare = find("lossy-ncc0").unwrap();
+        let rendered = Sweep::over_seeds(bare.clone(), 0, 2).run().to_json_string();
+        assert!(
+            !rendered.contains("phase_overrides"),
+            "override-free scenarios must keep the historical header: {rendered}"
+        );
+        let mut scoped = bare;
+        scoped.phases = PhaseOverrides::none()
+            .with_budget(PhaseId::Binarize, RoundBudget::STANDARD.with_slack(12))
+            .with_transport(
+                PhaseId::Binarize,
+                TransportChoice::Reliable(crate::TransportConfig::default()),
+            );
+        let rendered = Sweep::over_seeds(scoped, 0, 2).run().to_json_string();
+        assert!(rendered.contains("\"phase_overrides\""), "{rendered}");
+        assert!(rendered.contains("\"binarize\""), "{rendered}");
+        assert!(
+            rendered.contains("\"round_budget_slack\": 12"),
+            "{rendered}"
+        );
+        assert!(
+            !rendered.contains("\"create-expander\""),
+            "phases without overrides must not be listed: {rendered}"
+        );
+        let parsed = Json::parse(&rendered).expect("report with overrides parses");
+        assert!(parsed.render().contains("phase_overrides"));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`transport`] (`overlay-transport`) — the reliable-delivery layer (per-peer
 //!   sequence numbers, acks, retransmission, duplicate suppression) that wraps any
 //!   protocol so the construction survives message loss,
-//! * [`core`] (`overlay-core`) — the `CreateExpander` pipeline of Theorem 1.1,
+//! * [`core`] (`overlay-core`) — the `CreateExpander` pipeline of Theorem 1.1, with
+//!   each paper phase a first-class `Phase` value (`overlay_core::pipeline`) and
+//!   per-phase round-budget/transport overrides,
 //! * [`hybrid`] (`overlay-hybrid`) — connected components, spanning trees, biconnected
 //!   components and MIS in the hybrid model (Theorems 1.2–1.5),
 //! * [`baselines`] (`overlay-baselines`) — supernode merging, pointer jumping, flooding

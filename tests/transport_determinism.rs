@@ -9,7 +9,7 @@ use overlay_networks::netsim::{
     CapacityModel, Ctx, Envelope, FaultPlan, Protocol, SimConfig, Simulator,
 };
 use overlay_networks::scenarios::{
-    CapacityProfile, FaultSpec, GraphFamily, RoundBudget, Scenario, TransportConfig,
+    CapacityProfile, FaultSpec, GraphFamily, PhaseOverrides, RoundBudget, Scenario, TransportConfig,
 };
 use overlay_networks::transport::Reliable;
 use proptest::prelude::*;
@@ -218,6 +218,7 @@ fn loss_rate_zero_twin_matches_the_unwrapped_sweep() {
         faults: FaultSpec::Lossy { drop_prob: 0.0 },
         round_budget: RoundBudget::STANDARD,
         transport: None,
+        phases: PhaseOverrides::none(),
     };
     let twin = Scenario {
         name: "reliable-clean",
