@@ -569,7 +569,7 @@ pub fn e12_baselines(sizes: &[usize]) -> Vec<Row> {
 pub fn e13_fault_scenarios(seeds: usize, report_dir: Option<&std::path::Path>) -> Vec<Row> {
     let mut rows = Vec::new();
     for scenario in overlay_scenarios::registry() {
-        let sweep = overlay_scenarios::Sweep::over_seeds(scenario, 0, seeds);
+        let sweep = overlay_scenarios::Sweep::over_seeds(scenario.clone(), 0, seeds);
         let report = sweep.run();
         if let Some(dir) = report_dir {
             match overlay_scenarios::report::write_report(&report, dir) {
@@ -609,29 +609,24 @@ pub fn e13_fault_scenarios(seeds: usize, report_dir: Option<&std::path::Path>) -
 /// generous relative to its own timer isolates the *parameter* effect from budget
 /// starvation.
 pub fn e14_transport_params(seeds: usize) -> Vec<Row> {
-    use overlay_scenarios::{
-        CapacityProfile, FaultSpec, GraphFamily, PhaseOverrides, RoundBudget, Scenario, Sweep,
-        TransportConfig,
-    };
+    use overlay_scenarios::{FaultSpec, GraphFamily, Scenario, Sweep, TransportConfig};
     let mut rows = Vec::new();
     for &drop_prob in &[0.002, 0.02, 0.05] {
         for &retransmit_after in &[2usize, 4, 8] {
             for &window in &[2usize, 8, 64] {
-                let scenario = Scenario {
-                    name: "e14-transport",
-                    description: "transport parameter sweep cell",
-                    family: GraphFamily::Cycle,
-                    n: 128,
-                    capacity: CapacityProfile::Standard,
-                    faults: FaultSpec::Lossy { drop_prob },
-                    round_budget: RoundBudget::STANDARD.with_slack(4 * retransmit_after as u32 + 8),
-                    transport: Some(
-                        TransportConfig::default()
-                            .with_retransmit_after(retransmit_after)
-                            .with_window(window),
-                    ),
-                    phases: PhaseOverrides::none(),
-                };
+                let scenario = Scenario::new(
+                    "e14-transport",
+                    "transport parameter sweep cell",
+                    GraphFamily::Cycle,
+                    128,
+                )
+                .with_faults(FaultSpec::Lossy { drop_prob })
+                .reliable(
+                    TransportConfig::default()
+                        .with_retransmit_after(retransmit_after)
+                        .with_window(window),
+                    4 * retransmit_after as u32 + 8,
+                );
                 let report = Sweep::over_seeds(scenario, 0, seeds).run();
                 rows.push(Row {
                     label: format!("loss={drop_prob} rto={retransmit_after} win={window}"),

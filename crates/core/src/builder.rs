@@ -676,6 +676,7 @@ impl SlotEdges {
 fn remap_plan(plan: &FaultPlan, old_to_new: &[Option<usize>]) -> FaultPlan {
     FaultPlan {
         drop_prob: plan.drop_prob,
+        loss_from: plan.loss_from,
         delay: plan.delay,
         crashes: plan
             .crashes

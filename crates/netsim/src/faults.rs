@@ -88,6 +88,11 @@ pub struct FaultPlan {
     /// Independent per-message loss probability (applied to messages that survive
     /// partitions and liveness checks).
     pub drop_prob: f64,
+    /// First send round the loss probability applies to. The default `0` makes
+    /// loss unconditional, which is byte-identical to the pre-windowed behavior;
+    /// a later round models a network that degrades partway through a run (see
+    /// [`FaultPlan::with_drop_prob_from`]).
+    pub loss_from: usize,
     /// Optional random delivery delays.
     pub delay: Option<DelayModel>,
     /// Scheduled crash-stop failures.
@@ -121,6 +126,20 @@ impl FaultPlan {
             "drop probability out of range: {p}"
         );
         self.drop_prob = p;
+        self
+    }
+
+    /// Sets the independent per-message loss probability, applied only to messages
+    /// sent at or after `from_round` — the network works, then degrades. Composes
+    /// with crash waves into "crash, then loss" stressors where the survivors must
+    /// also cope with a lossier network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop_prob_from(mut self, p: f64, from_round: usize) -> Self {
+        self = self.with_drop_prob(p);
+        self.loss_from = from_round;
         self
     }
 
@@ -188,10 +207,12 @@ impl FaultPlan {
     /// Crashes that already happened stay in effect (they become crashes at round
     /// 0); joins that already happened disappear (the node is simply active);
     /// partitions are clipped to the remaining window and dropped once healed.
-    /// Loss and delay models persist unchanged.
+    /// Loss and delay models persist unchanged, except that a windowed loss start
+    /// ([`FaultPlan::with_drop_prob_from`]) is rebased onto the new timeline.
     pub fn shifted(&self, offset: usize) -> FaultPlan {
         FaultPlan {
             drop_prob: self.drop_prob,
+            loss_from: self.loss_from.saturating_sub(offset),
             delay: self.delay,
             crashes: self
                 .crashes
@@ -321,6 +342,7 @@ pub struct FaultRouter<M> {
     join_round: Vec<usize>,
     partitions: Vec<(usize, usize, HashSet<NodeId>)>,
     drop_prob: f64,
+    loss_from: usize,
     delay: Option<DelayModel>,
     rng: StdRng,
     /// Messages in flight beyond the next round, keyed by (absolute) delivery round.
@@ -363,6 +385,7 @@ impl<M> FaultRouter<M> {
                 })
                 .collect(),
             drop_prob: plan.drop_prob,
+            loss_from: plan.loss_from,
             delay: plan.delay,
             rng: StdRng::seed_from_u64(seed.wrapping_add(0xFA17)),
             delayed: BTreeMap::new(),
@@ -418,7 +441,13 @@ impl<M> FaultRouter<M> {
         if self.cut_by_partition(from, to, send_round) {
             return Route::Drop(DropReason::Partition);
         }
-        if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
+        // The loss window is checked before the RNG roll, so rounds before
+        // `loss_from` draw nothing: an unwindowed plan (`loss_from == 0`) keeps
+        // the exact pre-windowed RNG stream, and windowed plans stay
+        // deterministic per seed regardless of how much clean traffic precedes
+        // the window.
+        if self.drop_prob > 0.0 && send_round >= self.loss_from && self.rng.gen_bool(self.drop_prob)
+        {
             return Route::Drop(DropReason::Fault);
         }
         let mut deliver_round = send_round + 1;
@@ -686,6 +715,46 @@ mod tests {
         assert!(router.delayed[&7].capacity() >= recycled_cap);
         // Draining a round with nothing due is a no-op.
         router.drain_due(4, |_, _| panic!("nothing is due at round 4"));
+    }
+
+    #[test]
+    fn windowed_loss_spares_rounds_before_the_window() {
+        let plan = FaultPlan::default().with_drop_prob_from(1.0, 5);
+        let mut router: FaultRouter<u8> = FaultRouter::new(&plan, 2, 1);
+        for r in 0..5 {
+            assert_eq!(router.route(id(0), id(1), r), Route::Deliver);
+        }
+        for r in 5..20 {
+            assert_eq!(
+                router.route(id(0), id(1), r),
+                Route::Drop(DropReason::Fault)
+            );
+        }
+    }
+
+    #[test]
+    fn unwindowed_loss_keeps_the_pre_window_rng_stream() {
+        // `with_drop_prob` and `with_drop_prob_from(p, 0)` must be routing-identical:
+        // the window check happens before the RNG roll, so a zero window consumes
+        // exactly the same random sequence as the historical unconditional check.
+        let route_all = |plan: FaultPlan| -> Vec<Route> {
+            let mut router: FaultRouter<u8> = FaultRouter::new(&plan, 4, 9);
+            (0..200)
+                .map(|i| router.route(id(i % 4), id((i + 1) % 4), i))
+                .collect()
+        };
+        assert_eq!(
+            route_all(FaultPlan::default().with_drop_prob(0.3)),
+            route_all(FaultPlan::default().with_drop_prob_from(0.3, 0)),
+        );
+    }
+
+    #[test]
+    fn shifted_rebases_the_loss_window() {
+        let plan = FaultPlan::default().with_drop_prob_from(0.2, 15);
+        assert_eq!(plan.shifted(10).loss_from, 5);
+        assert_eq!(plan.shifted(20).loss_from, 0);
+        assert_eq!(plan.shifted(20).drop_prob, 0.2);
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!   --full          additionally run the on-demand larger-n sweeps
 //!                   (n = 1024 / 4096); their reports go to `<dir>/full/` and
 //!                   are never part of the committed `--check` baselines
+//!   --compare       after the sweeps, print the baseline-vs-twin delta table
+//!                   (success, rounds, delivered, retransmits per registered
+//!                   pair) and persist it to `<dir>/compare.md`
+//!   --list          print the registry (name, family, n, faults, tags,
+//!                   baseline) and exit without running anything
+//!   --tag T         restrict --list and the default sweep selection to
+//!                   scenarios whose effective tags contain T
 //!   SCENARIO...     registry names to run (default: the whole registry)
 //! ```
 //!
@@ -20,7 +27,7 @@
 //! they take minutes and exist to spot-check large-n behavior on demand, so they
 //! are written to an untracked `full/` subdirectory and skipped by `--check`.
 
-use overlay_scenarios::{full_registry, registry, report, Scenario, Sweep};
+use overlay_scenarios::{compare, full_registry, registry, report, Scenario, Sweep, SweepReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,6 +37,9 @@ struct Options {
     dir: PathBuf,
     check: bool,
     full: bool,
+    compare: bool,
+    list: bool,
+    tag: Option<String>,
     names: Vec<String>,
 }
 
@@ -40,6 +50,9 @@ fn parse_args() -> Result<Options, String> {
         dir: PathBuf::from("reports"),
         check: false,
         full: false,
+        compare: false,
+        list: false,
+        tag: None,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -59,10 +72,14 @@ fn parse_args() -> Result<Options, String> {
             "--dir" => opts.dir = PathBuf::from(value("--dir")?),
             "--check" => opts.check = true,
             "--full" => opts.full = true,
+            "--compare" => opts.compare = true,
+            "--list" => opts.list = true,
+            "--tag" => opts.tag = Some(value("--tag")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
-                            [--check] [--full] [SCENARIO...]"
+                            [--check] [--full] [--compare] [--list] [--tag T] \
+                            [SCENARIO...]"
                         .into(),
                 )
             }
@@ -74,14 +91,16 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn selected(opts: &Options) -> Result<Vec<Scenario>, String> {
-    let mut scenarios = if opts.names.is_empty() {
-        registry()
+    let mut scenarios: Vec<Scenario> = if opts.names.is_empty() {
+        registry().iter().cloned().collect()
     } else {
         opts.names
             .iter()
             .map(|name| {
-                overlay_scenarios::find(name)
-                    .or_else(|| full_registry().into_iter().find(|s| s.name == *name))
+                registry()
+                    .find(name)
+                    .or_else(|| full_registry().find(name))
+                    .cloned()
                     .ok_or_else(|| format!("unknown scenario {name:?}; known: {}", known_names()))
             })
             .collect::<Result<Vec<_>, _>>()?
@@ -89,8 +108,16 @@ fn selected(opts: &Options) -> Result<Vec<Scenario>, String> {
     if opts.full {
         for s in full_registry() {
             if !scenarios.iter().any(|existing| existing.name == s.name) {
-                scenarios.push(s);
+                scenarios.push(s.clone());
             }
+        }
+    }
+    // `--tag` narrows the *default* selection; scenarios the user named
+    // explicitly always run (naming a cell is already the narrowest filter).
+    if let (Some(tag), true) = (&opts.tag, opts.names.is_empty()) {
+        scenarios.retain(|s| s.effective_tags().iter().any(|t| t == tag));
+        if scenarios.is_empty() {
+            return Err(format!("no registered scenario carries tag {tag:?}"));
         }
     }
     Ok(scenarios)
@@ -98,11 +125,37 @@ fn selected(opts: &Options) -> Result<Vec<Scenario>, String> {
 
 fn known_names() -> String {
     registry()
-        .iter()
-        .chain(full_registry().iter())
-        .map(|s| s.name)
+        .names()
+        .chain(full_registry().names())
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// Prints one line per scenario so users can discover matrix cells without
+/// reading source: name, family/n, fault label, effective tags, and the
+/// baseline the cell was derived from (`-` for hand-authored baselines).
+fn print_listing(opts: &Options) {
+    let mut scenarios: Vec<&Scenario> = registry().iter().collect();
+    if opts.full {
+        scenarios.extend(full_registry().iter());
+    }
+    if let Some(tag) = &opts.tag {
+        scenarios.retain(|s| s.effective_tags().iter().any(|t| t == tag));
+    }
+    println!(
+        "{:<30} {:<24} {:<16} {:<44} baseline",
+        "name", "family/n", "faults", "tags"
+    );
+    for s in scenarios {
+        println!(
+            "{:<30} {:<24} {:<16} {:<44} {}",
+            s.name,
+            format!("{}/{}", s.family.label(), s.actual_n()),
+            s.faults.label(),
+            s.effective_tags().join(","),
+            s.baseline.as_deref().unwrap_or("-"),
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -113,6 +166,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.list {
+        print_listing(&opts);
+        return ExitCode::SUCCESS;
+    }
     let scenarios = match selected(&opts) {
         Ok(s) => s,
         Err(msg) => {
@@ -122,6 +179,7 @@ fn main() -> ExitCode {
     };
 
     let mut regressions = 0usize;
+    let mut results: Vec<SweepReport> = Vec::with_capacity(scenarios.len());
     for scenario in scenarios {
         // Large-n scenarios selected by name go where `--full` puts them: the
         // untracked `full/` subdirectory, outside the `--check` contract.
@@ -182,6 +240,32 @@ fn main() -> ExitCode {
         } else if let Err(e) = report::write_report(&result, &dir) {
             eprintln!("  cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
+        }
+        results.push(result);
+    }
+
+    if opts.compare {
+        let by_name = |name: &str| results.iter().find(|r| r.scenario.name == name);
+        let deltas: Vec<compare::PairDelta> = registry()
+            .pairs()
+            .filter_map(|(base, twin)| {
+                Some(compare::PairDelta::from_reports(
+                    by_name(&base.name)?,
+                    by_name(&twin.name)?,
+                ))
+            })
+            .collect();
+        if deltas.is_empty() {
+            eprintln!("--compare: no (baseline, twin) pair was fully swept in this run");
+        } else {
+            print!("{}", compare::render_table(&deltas));
+            match compare::write_compare_table(&deltas, opts.seeds, &opts.dir) {
+                Ok(path) => eprintln!("delta table persisted to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write delta table: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
 

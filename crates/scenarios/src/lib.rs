@@ -10,32 +10,37 @@
 //!
 //! # The registry
 //!
-//! [`registry`] returns the named built-in scenarios (clean baselines, lossy NCC0,
-//! delay jitter, mid-build crash wave, join churn, partition/heal, tight capacity);
-//! [`find`] looks one up by name. Run them all via the `experiments` binary of
-//! `overlay-bench` or sweep a single one with `examples/churn_sweep.rs`.
+//! [`registry`] returns the built-in scenario matrix as a first-class
+//! [`Registry`]: validated at construction (unique kebab-case names, every
+//! [`Scenario::baseline`] pairing resolves, every derived twin differs from its
+//! baseline only along its declared [`VariantAxis`]), with indexed
+//! [`Registry::find`], tag/family/fault filtering, and a [`Registry::pairs`]
+//! iterator over `(baseline, twin)` couples. Run them all via the `experiments`
+//! binary of `overlay-bench`, sweep a single one with `examples/churn_sweep.rs`,
+//! or discover the cells with `sweep_runner --list [--tag T]`.
 //!
-//! # Adding a scenario
+//! # Adding a matrix cell
 //!
 //! 1. If the failure mode is new, add a variant to [`FaultSpec`] and lower it to a
 //!    [`overlay_netsim::FaultPlan`] in [`FaultSpec::lower`] — keep every random choice
-//!    derived from the `seed` argument so reruns are reproducible.
-//! 2. Append a `Scenario { name, description, family, n, capacity, faults,
-//!    round_budget, transport, phases }` entry to [`registry`]. Names are
-//!    kebab-case and unique; the registry test enforces this. Declare a
-//!    [`RoundBudget`] above [`RoundBudget::STANDARD`] only when the fault model
-//!    legitimately stretches wall-rounds (delivery jitter, late joins,
-//!    reliable-transport retry round-trips). Set `transport:
-//!    Some(TransportConfig)` to run the pipeline over the `overlay-transport`
-//!    reliability layer — by convention such scenarios are `-reliable` twins of a
-//!    bare baseline, so the report pair isolates what reliability costs (acks,
-//!    retransmissions, extra rounds) and buys (completed seeds) per fault family.
-//!    Use `phases` ([`PhaseOverrides`]) to scope a budget or transport to a
-//!    single pipeline phase (e.g. reliable delivery only for the one-round
-//!    binarization); non-empty overrides are recorded in the report header.
+//!    derived from the `seed` argument so reruns are reproducible. Then register a
+//!    hand-authored baseline with [`Scenario::new`] plus the `with_*` setters.
+//!    Declare a [`RoundBudget`] above [`RoundBudget::STANDARD`] only when the
+//!    fault model legitimately stretches wall-rounds (delivery jitter, late
+//!    joins, reliable-transport retry round-trips).
+//! 2. If the cell is a *variant* of an existing experiment, derive it instead of
+//!    copying it: [`Scenario::reliable`] adds the `overlay-transport` reliability
+//!    layer (plus flat retry slack), [`Scenario::with_capacity`] moves the NCC0
+//!    capacity profile, [`Scenario::with_phases`] scopes budget/transport
+//!    overrides to single pipeline phases, and [`Scenario::at_n`] derives the
+//!    on-demand large-`n` rerun for [`full_registry`]. Each derivation appends a
+//!    deterministic name suffix, rewrites the description, and records its
+//!    baseline and axis, so [`Registry::pairs`] (and `sweep_runner --compare`'s
+//!    delta table) pick the couple up automatically.
 //! 3. There is no step 3: sweeps, aggregation, JSON reports, persisted
 //!    `reports/<name>.json` files and the experiments binary pick the new entry up
-//!    automatically.
+//!    automatically — run `sweep_runner` once without `--check` to commit the
+//!    cell's 16-seed baseline.
 //!
 //! # Persisted reports
 //!
@@ -55,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod json;
 mod registry;
 pub mod report;
@@ -64,6 +70,6 @@ mod sweep;
 pub use json::Json;
 pub use overlay_core::{PhaseId, PhaseOverrides, RoundBudget, TransportChoice};
 pub use overlay_netsim::TransportConfig;
-pub use registry::{find, full_registry, registry};
-pub use scenario::{CapacityProfile, FaultSpec, GraphFamily, RunRecord, Scenario};
+pub use registry::{find, full_registry, registry, Registry, RegistryError};
+pub use scenario::{CapacityProfile, FaultSpec, GraphFamily, RunRecord, Scenario, VariantAxis};
 pub use sweep::{Sweep, SweepReport};

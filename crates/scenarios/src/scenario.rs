@@ -1,6 +1,9 @@
 //! The declarative scenario type and its lowering into concrete runs.
 
-use overlay_core::{ExpanderNode, ExpanderParams, OverlayBuilder, PhaseOverrides, RoundBudget};
+use overlay_core::{
+    ExpanderNode, ExpanderParams, OverlayBuilder, PhaseId, PhaseOverrides, RoundBudget,
+    TransportChoice,
+};
 use overlay_graph::{generators, DiGraph, NodeId};
 use overlay_netsim::{FaultPlan, TransportConfig};
 use rand::rngs::StdRng;
@@ -142,6 +145,17 @@ pub enum FaultSpec {
         /// Window end (heal), as a fraction of the construction schedule.
         heal: f64,
     },
+    /// A compound stressor: a crash wave hits, and from the same round on the
+    /// surviving network also drops messages — the overlay must absorb the
+    /// membership loss *while* the network degrades underneath it.
+    CrashThenLoss {
+        /// Fraction of nodes that crash.
+        fraction: f64,
+        /// When the wave hits (and loss starts), as a fraction of the schedule.
+        at: f64,
+        /// Per-message drop probability from the crash round on.
+        drop_prob: f64,
+    },
 }
 
 impl FaultSpec {
@@ -180,6 +194,18 @@ impl FaultSpec {
                 let side_a: Vec<NodeId> = (0..n / 2).map(NodeId::from).collect();
                 FaultPlan::default().with_partition(side_a, from_round, heal_round)
             }
+            FaultSpec::CrashThenLoss {
+                fraction,
+                at,
+                drop_prob,
+            } => {
+                let round = fraction_round(schedule, at);
+                let mut plan = FaultPlan::default().with_drop_prob_from(drop_prob, round);
+                for v in seeded_subset(n, fraction, &mut rng) {
+                    plan = plan.with_crash(NodeId::from(v), round);
+                }
+                plan
+            }
         }
     }
 
@@ -192,6 +218,7 @@ impl FaultSpec {
             FaultSpec::CrashWave { .. } => "crash-wave",
             FaultSpec::JoinChurn { .. } => "join-churn",
             FaultSpec::PartitionHeal { .. } => "partition-heal",
+            FaultSpec::CrashThenLoss { .. } => "crash-then-loss",
         }
     }
 }
@@ -205,6 +232,28 @@ fn fraction_round(schedule: usize, fraction: f64) -> usize {
     ((schedule as f64 * fraction).round() as usize).min(schedule)
 }
 
+/// The deterministic name suffix of a phase-override twin: per overridden phase
+/// (in pipeline order), the phase name plus what moved — the transport kind when
+/// a transport override is present, `budget` when only the budget is pinned.
+fn phase_suffix(overrides: &PhaseOverrides) -> String {
+    let mut suffix = String::new();
+    for id in PhaseId::ALL {
+        let budget = overrides.budget(id).is_some();
+        let transport = overrides.transport(id);
+        if !budget && transport.is_none() {
+            continue;
+        }
+        suffix.push('-');
+        suffix.push_str(id.name());
+        match transport {
+            Some(TransportChoice::Reliable(_)) => suffix.push_str("-reliable"),
+            Some(TransportChoice::Bare) => suffix.push_str("-bare"),
+            None => suffix.push_str("-budget"),
+        }
+    }
+    suffix
+}
+
 /// A seeded random subset of `⌊fraction · n⌋` nodes, excluding node 0 (keeping at
 /// least one stable resident keeps the scenarios comparable across seeds).
 fn seeded_subset(n: usize, fraction: f64, rng: &mut StdRng) -> Vec<usize> {
@@ -216,13 +265,51 @@ fn seeded_subset(n: usize, fraction: f64, rng: &mut StdRng) -> Vec<usize> {
     ids
 }
 
+/// The axis along which a derived scenario differs from its baseline.
+///
+/// Every scenario produced by one of the variant constructors
+/// ([`Scenario::reliable`], [`Scenario::at_n`], [`Scenario::with_capacity`],
+/// [`Scenario::with_phases`]) records its axis next to its
+/// [`baseline`](Scenario::baseline) name, so twin↔baseline pairing is scenario
+/// *data* that a [`crate::Registry`] can validate — a twin must differ from its
+/// baseline along its declared axis and nothing else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VariantAxis {
+    /// The twin adds the reliable-delivery transport layer (plus retry slack).
+    Transport,
+    /// The twin reruns the baseline at a different (on-demand, large) `n`.
+    Size,
+    /// The twin changes only the NCC0 capacity profile.
+    Capacity,
+    /// The twin scopes budget/transport overrides to individual phases.
+    Phases,
+}
+
+impl VariantAxis {
+    /// A short kebab-case label, used as a derived tag (`axis:<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            VariantAxis::Transport => "transport",
+            VariantAxis::Size => "size",
+            VariantAxis::Capacity => "capacity",
+            VariantAxis::Phases => "phases",
+        }
+    }
+}
+
 /// One named experiment: everything needed to run the pipeline under a fault load.
+///
+/// Hand-authored baselines are built with [`Scenario::new`] plus the `with_*`
+/// setters; derived matrix cells come from the variant axis constructors
+/// ([`Scenario::reliable`], [`Scenario::at_n`], [`Scenario::with_capacity`],
+/// [`Scenario::with_phases`]), which append a deterministic name suffix, rewrite
+/// the description, and record the baseline they were derived from.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Unique kebab-case name (registry key).
-    pub name: &'static str,
+    pub name: String,
     /// One-line description for reports.
-    pub description: &'static str,
+    pub description: String,
     /// The initial knowledge graph family.
     pub family: GraphFamily,
     /// Node count (a family may round it; see [`GraphFamily::actual_n`]).
@@ -249,6 +336,19 @@ pub struct Scenario {
     /// just the phase that needs it — e.g. reliable transport only for the
     /// one-round binarize phase. Recorded in the report header when non-empty.
     pub phases: PhaseOverrides,
+    /// Explicit annotation tags. Serialized into the report JSON header when
+    /// non-empty; pre-matrix scenarios carry none, which keeps their committed
+    /// report headers byte-identical. Structural facets (family, fault, capacity,
+    /// transport, axis) need no explicit tag — [`Scenario::effective_tags`]
+    /// derives them for filtering and listing.
+    pub tags: Vec<String>,
+    /// The name of the scenario this one was derived from, when it came out of a
+    /// variant axis constructor. Twin↔baseline pairing is data, not a test
+    /// table: a [`crate::Registry`] resolves and validates it, and
+    /// [`crate::Registry::pairs`] iterates the couples for delta reporting.
+    pub baseline: Option<String>,
+    /// Which axis the derivation moved along (set iff `baseline` is set).
+    pub axis: Option<VariantAxis>,
 }
 
 /// The outcome of one `(scenario, seed)` run.
@@ -302,6 +402,212 @@ pub struct RunRecord {
 }
 
 impl Scenario {
+    /// A hand-authored baseline: clean faults, standard capacity, the paper's
+    /// round budget, bare sends, no per-phase overrides, no tags, no baseline.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        family: GraphFamily,
+        n: usize,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            description: description.into(),
+            family,
+            n,
+            capacity: CapacityProfile::Standard,
+            faults: FaultSpec::Clean,
+            round_budget: RoundBudget::STANDARD,
+            transport: None,
+            phases: PhaseOverrides::none(),
+            tags: Vec::new(),
+            baseline: None,
+            axis: None,
+        }
+    }
+
+    /// Sets the fault load (builder-style).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the NCC0 capacity profile *without* deriving a variant — for
+    /// hand-authored baselines like `tight-caps`. The capacity *axis* is
+    /// [`Scenario::with_capacity`].
+    pub fn with_capacity_profile(mut self, capacity: CapacityProfile) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the scenario-wide round budget (builder-style).
+    pub fn with_budget(mut self, budget: RoundBudget) -> Self {
+        self.round_budget = budget;
+        self
+    }
+
+    /// Appends an explicit annotation tag (recorded in the report header).
+    /// Idempotent: a tag the scenario already carries — e.g. inherited from the
+    /// baseline of a derivation — is not duplicated.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        let tag = tag.into();
+        if !self.tags.contains(&tag) {
+            self.tags.push(tag);
+        }
+        self
+    }
+
+    /// Replaces the auto-generated description of a derived variant (or the
+    /// description of a baseline) with bespoke prose. Pairing metadata, name and
+    /// axis are untouched — the committed reliable twins use this to keep their
+    /// historical report headers byte-identical while being *derived* rather
+    /// than hand-copied.
+    pub fn describe(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Replaces the mechanically derived name. The only sanctioned use is
+    /// preserving a historical name that predates the derivation scheme (e.g.
+    /// `crash-ncc0-reliable`, whose mechanical name would be
+    /// `mid-build-crash-wave-reliable`); new matrix cells should keep their
+    /// derived names so the naming scheme stays predictable.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    // ---- Variant axis constructors ------------------------------------
+
+    /// Derives the reliable-transport twin: same experiment, plus the
+    /// `overlay-transport` reliability layer and `slack` flat extra rounds per
+    /// phase for its retry round-trips (a retry chain costs a *constant* number
+    /// of rounds, which a percent budget cannot express for one-round phases).
+    ///
+    /// Name: `<base>-reliable`. Axis: [`VariantAxis::Transport`].
+    pub fn reliable(&self, transport: TransportConfig, slack: u32) -> Scenario {
+        let mut twin = self.clone();
+        twin.name = format!("{}-reliable", self.name);
+        twin.description = format!("Twin of {} over the reliable transport", self.name);
+        twin.round_budget = self.round_budget.with_slack(slack);
+        twin.transport = Some(transport);
+        twin.baseline = Some(self.name.clone());
+        twin.axis = Some(VariantAxis::Transport);
+        twin
+    }
+
+    /// Derives the on-demand large-`n` rerun of this scenario.
+    ///
+    /// Name: `full-<base>-<n>` — the `full-` namespace keeps these out of the
+    /// committed `reports/` baselines (the sweep runner routes them to the
+    /// untracked `full/` subdirectory, outside the `--check` contract), and the
+    /// size suffix is derived from the argument, so a third or fourth size can
+    /// never be mislabeled. Axis: [`VariantAxis::Size`].
+    pub fn at_n(&self, n: usize) -> Scenario {
+        let mut twin = self.clone();
+        twin.name = format!("full-{}-{n}", self.name);
+        twin.description = format!("Large-n twin of {} at n = {n}", self.name);
+        twin.n = n;
+        twin.baseline = Some(self.name.clone());
+        twin.axis = Some(VariantAxis::Size);
+        twin
+    }
+
+    /// Derives the capacity-profile twin: same experiment under a different
+    /// per-round NCC0 cap — e.g. generous headroom isolating a fault's effect
+    /// from capacity pressure, or tight caps compounding it.
+    ///
+    /// Name: `<base>-<profile>`. Axis: [`VariantAxis::Capacity`].
+    pub fn with_capacity(&self, capacity: CapacityProfile) -> Scenario {
+        let mut twin = self.clone();
+        twin.name = format!("{}-{}", self.name, capacity.label());
+        twin.description = format!(
+            "Twin of {} with {} NCC0 capacity",
+            self.name,
+            capacity.label()
+        );
+        twin.capacity = capacity;
+        twin.baseline = Some(self.name.clone());
+        twin.axis = Some(VariantAxis::Capacity);
+        twin
+    }
+
+    /// Derives the phase-scoped twin: same experiment, with budget and/or
+    /// transport overridden for individual pipeline phases only (how a scenario
+    /// spends reliability on just the phase that needs it).
+    ///
+    /// Name: `<base>` plus, per overridden phase, `-<phase>` and a marker for
+    /// what changed (`-reliable`/`-bare` for a transport override, `-budget`
+    /// when only the budget moved) — e.g. `lossy-ncc0-binarize-reliable`.
+    /// Axis: [`VariantAxis::Phases`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `overrides` is empty: an empty override set is bit-for-bit
+    /// the baseline, so deriving a "twin" from it could only produce a
+    /// duplicate experiment under a new name.
+    pub fn with_phases(&self, overrides: PhaseOverrides) -> Scenario {
+        assert!(
+            !overrides.is_empty(),
+            "a phase-override twin needs at least one override"
+        );
+        let mut twin = self.clone();
+        twin.name = format!("{}{}", self.name, phase_suffix(&overrides));
+        twin.description = format!(
+            "Twin of {} with overrides scoped to single phases",
+            self.name
+        );
+        twin.phases = overrides;
+        twin.baseline = Some(self.name.clone());
+        twin.axis = Some(VariantAxis::Phases);
+        twin
+    }
+
+    /// `true` when any part of the run uses the reliable transport — the
+    /// scenario-wide layer or a phase-scoped [`TransportChoice::Reliable`]
+    /// override.
+    pub fn uses_reliable_transport(&self) -> bool {
+        self.transport.is_some()
+            || PhaseId::ALL.iter().any(|&id| {
+                matches!(
+                    self.phases.transport(id),
+                    Some(TransportChoice::Reliable(_))
+                )
+            })
+    }
+
+    /// The scenario's discoverable tag set: the explicit [`tags`](Scenario::tags)
+    /// plus derived structural facets — family, fault and capacity labels,
+    /// `reliable`/`bare` for the transport (a phase-scoped reliable override
+    /// counts as `reliable`, with `phase-reliable` marking the scoping),
+    /// `axis:<label>` and `derived` for variants. [`crate::Registry`] filtering
+    /// and the sweep runner's `--list` match against these.
+    pub fn effective_tags(&self) -> Vec<String> {
+        let mut tags = self.tags.clone();
+        let mut add = |tag: String| {
+            if !tags.contains(&tag) {
+                tags.push(tag);
+            }
+        };
+        add(self.family.label());
+        add(self.faults.label().to_string());
+        add(self.capacity.label().to_string());
+        add(if self.uses_reliable_transport() {
+            "reliable"
+        } else {
+            "bare"
+        }
+        .to_string());
+        if self.transport.is_none() && self.uses_reliable_transport() {
+            add("phase-reliable".to_string());
+        }
+        if let Some(axis) = self.axis {
+            add(format!("axis:{}", axis.label()));
+            add("derived".to_string());
+        }
+        tags
+    }
+
     /// The effective node count after family rounding.
     pub fn actual_n(&self) -> usize {
         self.family.actual_n(self.n)
@@ -411,6 +717,11 @@ mod tests {
                 from: 0.2,
                 heal: 0.5,
             },
+            FaultSpec::CrashThenLoss {
+                fraction: 0.1,
+                at: 0.4,
+                drop_prob: 0.01,
+            },
         ] {
             assert_eq!(
                 spec.lower(64, &params, 9),
@@ -452,18 +763,20 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_are_the_clean_paper_setting() {
+        let s = Scenario::new("test-clean", "clean line", GraphFamily::Line, 48);
+        assert_eq!(s.capacity, CapacityProfile::Standard);
+        assert_eq!(s.faults, FaultSpec::Clean);
+        assert_eq!(s.round_budget, RoundBudget::STANDARD);
+        assert!(s.transport.is_none());
+        assert!(s.phases.is_empty());
+        assert!(s.tags.is_empty());
+        assert!(s.baseline.is_none() && s.axis.is_none());
+    }
+
+    #[test]
     fn clean_scenario_run_succeeds_fully() {
-        let s = Scenario {
-            name: "test-clean",
-            description: "clean line",
-            family: GraphFamily::Line,
-            n: 48,
-            capacity: CapacityProfile::Standard,
-            faults: FaultSpec::Clean,
-            round_budget: RoundBudget::STANDARD,
-            transport: None,
-            phases: PhaseOverrides::none(),
-        };
+        let s = Scenario::new("test-clean", "clean line", GraphFamily::Line, 48);
         let r = s.run(3);
         assert!(r.success && r.completed);
         assert!((r.coverage - 1.0).abs() < 1e-12);
@@ -474,38 +787,17 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let s = Scenario {
-            name: "test-lossy",
-            description: "lossy cycle",
-            family: GraphFamily::Cycle,
-            n: 48,
-            capacity: CapacityProfile::Standard,
-            faults: FaultSpec::Lossy { drop_prob: 0.05 },
-            round_budget: RoundBudget::percent(125),
-            transport: None,
-            phases: PhaseOverrides::none(),
-        };
+        let s = Scenario::new("test-lossy", "lossy cycle", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::Lossy { drop_prob: 0.05 })
+            .with_budget(RoundBudget::percent(125));
         assert_eq!(s.run(11), s.run(11));
     }
 
     #[test]
     fn reliable_twin_runs_and_reports_overhead() {
-        let bare = Scenario {
-            name: "test-lossy",
-            description: "lossy cycle",
-            family: GraphFamily::Cycle,
-            n: 48,
-            capacity: CapacityProfile::Standard,
-            faults: FaultSpec::Lossy { drop_prob: 0.02 },
-            round_budget: RoundBudget::STANDARD,
-            transport: None,
-            phases: PhaseOverrides::none(),
-        };
-        let reliable = Scenario {
-            round_budget: RoundBudget::percent(200),
-            transport: Some(TransportConfig::default()),
-            ..bare.clone()
-        };
+        let bare = Scenario::new("test-lossy", "lossy cycle", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::Lossy { drop_prob: 0.02 });
+        let reliable = bare.reliable(TransportConfig::default(), 12);
         let r_bare = bare.run(2);
         let r_rel = reliable.run(2);
         assert_eq!(r_bare.retransmits, 0);
@@ -521,5 +813,113 @@ mod tests {
             r_rel.coverage,
             r_bare.coverage
         );
+    }
+
+    #[test]
+    fn reliable_variant_derives_name_pairing_and_slack() {
+        let base = Scenario::new("lossy-x", "x under loss", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::Lossy { drop_prob: 0.01 })
+            .with_budget(RoundBudget::percent(150));
+        let twin = base.reliable(TransportConfig::default(), 12);
+        assert_eq!(twin.name, "lossy-x-reliable");
+        assert_eq!(twin.baseline.as_deref(), Some("lossy-x"));
+        assert_eq!(twin.axis, Some(VariantAxis::Transport));
+        assert!(twin.transport.is_some());
+        assert_eq!(twin.round_budget.as_percent(), 150);
+        assert_eq!(twin.round_budget.slack(), 12);
+        assert_eq!(twin.family, base.family);
+        assert_eq!(twin.faults, base.faults);
+        assert!(twin.description.contains("Twin of lossy-x"));
+    }
+
+    #[test]
+    fn size_variant_derives_full_names_for_any_size() {
+        let base = Scenario::new("clean-line", "base", GraphFamily::Line, 128);
+        for n in [512usize, 1024, 4096] {
+            let big = base.at_n(n);
+            assert_eq!(big.name, format!("full-clean-line-{n}"));
+            assert_eq!(big.n, n);
+            assert_eq!(big.baseline.as_deref(), Some("clean-line"));
+            assert_eq!(big.axis, Some(VariantAxis::Size));
+        }
+    }
+
+    #[test]
+    fn capacity_variant_appends_the_profile_label() {
+        let base = Scenario::new("lossy-x", "x", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::Lossy { drop_prob: 0.01 });
+        let twin = base.with_capacity(CapacityProfile::Generous);
+        assert_eq!(twin.name, "lossy-x-generous");
+        assert_eq!(twin.capacity, CapacityProfile::Generous);
+        assert_eq!(twin.baseline.as_deref(), Some("lossy-x"));
+        assert_eq!(twin.axis, Some(VariantAxis::Capacity));
+        assert_eq!(twin.faults, base.faults);
+    }
+
+    #[test]
+    fn phase_variant_names_the_overridden_phase_and_kind() {
+        let base = Scenario::new("lossy-x", "x", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::Lossy { drop_prob: 0.01 });
+        let twin = base.with_phases(
+            PhaseOverrides::none()
+                .with_budget(PhaseId::Binarize, RoundBudget::STANDARD.with_slack(12))
+                .with_transport(
+                    PhaseId::Binarize,
+                    TransportChoice::Reliable(TransportConfig::default()),
+                ),
+        );
+        assert_eq!(twin.name, "lossy-x-binarize-reliable");
+        assert_eq!(twin.axis, Some(VariantAxis::Phases));
+        assert!(!twin.phases.is_empty());
+        let budget_only = base.with_phases(
+            PhaseOverrides::none().with_budget(PhaseId::Bfs, RoundBudget::percent(200)),
+        );
+        assert_eq!(budget_only.name, "lossy-x-bfs-budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one override")]
+    fn empty_phase_override_twin_is_rejected() {
+        let base = Scenario::new("x", "x", GraphFamily::Cycle, 48);
+        let _ = base.with_phases(PhaseOverrides::none());
+    }
+
+    #[test]
+    fn effective_tags_expose_facets_and_axis() {
+        let base = Scenario::new("lossy-x", "x", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::Lossy { drop_prob: 0.01 })
+            .with_tag("matrix");
+        let tags = base.effective_tags();
+        for expected in ["matrix", "cycle", "lossy", "standard", "bare"] {
+            assert!(
+                tags.iter().any(|t| t == expected),
+                "missing {expected}: {tags:?}"
+            );
+        }
+        let twin = base.reliable(TransportConfig::default(), 12);
+        let tags = twin.effective_tags();
+        for expected in ["reliable", "axis:transport", "derived"] {
+            assert!(
+                tags.iter().any(|t| t == expected),
+                "missing {expected}: {tags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_then_loss_lowers_to_windowed_loss_and_crashes() {
+        let params = ExpanderParams::for_n(64);
+        let plan = FaultSpec::CrashThenLoss {
+            fraction: 0.1,
+            at: 0.5,
+            drop_prob: 0.02,
+        }
+        .lower(64, &params, 3);
+        assert!(!plan.crashes.is_empty());
+        let crash_round = plan.crashes[0].round;
+        assert!(crash_round > 0);
+        assert_eq!(plan.loss_from, crash_round, "loss starts with the wave");
+        assert_eq!(plan.drop_prob, 0.02);
+        assert!(plan.crashes.iter().all(|c| c.round == crash_round));
     }
 }

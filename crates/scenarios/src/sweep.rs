@@ -136,11 +136,8 @@ impl SweepReport {
     pub fn to_json(&self) -> Json {
         let (rounds_min, rounds_max) = self.round_range();
         let mut fields = vec![
-            ("scenario", Json::Str(self.scenario.name.to_string())),
-            (
-                "description",
-                Json::Str(self.scenario.description.to_string()),
-            ),
+            ("scenario", Json::Str(self.scenario.name.clone())),
+            ("description", Json::Str(self.scenario.description.clone())),
             ("family", Json::Str(self.scenario.family.label())),
             ("n", Json::Int(self.scenario.actual_n() as i64)),
             (
@@ -171,10 +168,23 @@ impl SweepReport {
                 ),
             ),
         ];
-        // Per-phase overrides are recorded only when the scenario declares any:
-        // pre-override reports (and every scenario that inherits the scenario-wide
-        // settings everywhere) keep their exact historical header, so the committed
-        // baselines stay byte-identical.
+        // Explicit annotation tags and per-phase overrides are recorded only when
+        // the scenario declares any: pre-matrix reports (and every scenario that
+        // carries no tags and inherits the scenario-wide settings everywhere)
+        // keep their exact historical header, so the committed baselines stay
+        // byte-identical.
+        if !self.scenario.tags.is_empty() {
+            fields.push((
+                "tags",
+                Json::Arr(
+                    self.scenario
+                        .tags
+                        .iter()
+                        .map(|t| Json::Str(t.clone()))
+                        .collect(),
+                ),
+            ));
+        }
         if !self.scenario.phases.is_empty() {
             fields.push((
                 "phase_overrides",

@@ -54,14 +54,14 @@ proptest! {
         scenario_idx in 0usize..registry().len(),
         seed in 0usize..BASELINE_SEEDS,
     ) {
-        let scenario = registry().swap_remove(scenario_idx);
-        let name = scenario.name;
+        let scenario = registry().scenarios()[scenario_idx].clone();
+        let name = scenario.name.clone();
         let fresh = Sweep::over_seeds(scenario, seed as u64, 1).run().to_json();
         let fresh_run = match field(&fresh, "runs") {
             Json::Arr(runs) => runs[0].clone(),
             other => panic!("runs must be an array, got {other:?}"),
         };
-        let committed = committed_run(name, seed);
+        let committed = committed_run(&name, seed);
         prop_assert_eq!(
             fresh_run.render(),
             committed.render(),
@@ -78,8 +78,8 @@ proptest! {
 #[test]
 fn clean_line_seed_zero_matches_baseline_exactly() {
     let scenario = registry()
-        .into_iter()
-        .find(|s| s.name == "clean-line")
+        .find("clean-line")
+        .cloned()
         .expect("clean-line is registered");
     let fresh = Sweep::over_seeds(scenario, 0, 1).run().to_json();
     let fresh_run = match field(&fresh, "runs") {

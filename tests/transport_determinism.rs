@@ -8,9 +8,7 @@ use overlay_networks::graph::{generators, NodeId};
 use overlay_networks::netsim::{
     CapacityModel, Ctx, Envelope, FaultPlan, Protocol, SimConfig, Simulator,
 };
-use overlay_networks::scenarios::{
-    CapacityProfile, FaultSpec, GraphFamily, PhaseOverrides, RoundBudget, Scenario, TransportConfig,
-};
+use overlay_networks::scenarios::{FaultSpec, GraphFamily, Scenario, TransportConfig};
 use overlay_networks::transport::Reliable;
 use proptest::prelude::*;
 
@@ -209,24 +207,17 @@ proptest! {
 /// fields and the ack accounting.
 #[test]
 fn loss_rate_zero_twin_matches_the_unwrapped_sweep() {
-    let bare = Scenario {
-        name: "bare-clean",
-        description: "clean cycle, bare sends",
-        family: GraphFamily::Cycle,
-        n: 48,
-        capacity: CapacityProfile::Standard,
-        faults: FaultSpec::Lossy { drop_prob: 0.0 },
-        round_budget: RoundBudget::STANDARD,
-        transport: None,
-        phases: PhaseOverrides::none(),
-    };
-    let twin = Scenario {
-        name: "reliable-clean",
-        description: "clean cycle, reliable transport",
-        transport: Some(TransportConfig::default()),
-        round_budget: RoundBudget::STANDARD.with_slack(12),
-        ..bare.clone()
-    };
+    let bare = Scenario::new(
+        "bare-clean",
+        "clean cycle, bare sends",
+        GraphFamily::Cycle,
+        48,
+    )
+    .with_faults(FaultSpec::Lossy { drop_prob: 0.0 });
+    let twin = bare
+        .reliable(TransportConfig::default(), 12)
+        .renamed("reliable-clean")
+        .describe("clean cycle, reliable transport");
     for seed in 0..6u64 {
         let b = bare.run(seed);
         let t = twin.run(seed);
