@@ -31,6 +31,7 @@ use crate::wellformed::{BinarizeNode, WellFormedTree};
 use crate::{benign, ExpanderParams, OverlayError, RoundBudget};
 use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
 use overlay_netsim::faults::{CrashEvent, FaultPlan, Partition};
+use overlay_netsim::trace::SharedTraceSink;
 use overlay_netsim::{RunMetrics, TransportConfig};
 use std::collections::BTreeMap;
 
@@ -188,6 +189,10 @@ pub struct BuildReport {
     pub crashed: usize,
     /// Total join events executed across all phases.
     pub joined: usize,
+    /// Per-phase metric rollups (rounds, drops by cause, transport overhead,
+    /// wall-clock), one entry per *simulated* phase in pipeline order — stalled
+    /// phases included. See [`crate::pipeline::PhaseMetrics`].
+    pub phase_metrics: Vec<crate::pipeline::PhaseMetrics>,
 }
 
 impl BuildReport {
@@ -377,6 +382,33 @@ impl OverlayBuilder {
         g: &DiGraph,
         faults: &FaultPlan,
     ) -> Result<BuildReport, OverlayError> {
+        self.build_with(g, faults, None)
+    }
+
+    /// [`OverlayBuilder::build_under_faults`] with a trace sink observing the run:
+    /// every phase's simulator streams its structured events (round boundaries,
+    /// drops with cause and edge, crashes/joins, transport activity) into `sink`,
+    /// bracketed by phase markers. The run itself is byte-identical to an
+    /// untraced run of the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`OverlayBuilder::build_under_faults`].
+    pub fn build_under_faults_traced(
+        &self,
+        g: &DiGraph,
+        faults: &FaultPlan,
+        sink: SharedTraceSink,
+    ) -> Result<BuildReport, OverlayError> {
+        self.build_with(g, faults, Some(sink))
+    }
+
+    fn build_with(
+        &self,
+        g: &DiGraph,
+        faults: &FaultPlan,
+        sink: Option<SharedTraceSink>,
+    ) -> Result<BuildReport, OverlayError> {
         let params = self.params;
         params.validate().map_err(OverlayError::InvalidParams)?;
         let n = g.node_count();
@@ -393,6 +425,9 @@ impl OverlayBuilder {
 
         let mut runner =
             PhaseRunner::new(n, &params, self.round_budget, self.transport, self.phases);
+        if let Some(sink) = sink {
+            runner.set_trace_sink(sink);
+        }
 
         // Phase 1: CreateExpander over all n nodes (joiners included; the fault
         // router keeps them dormant until their join round).
@@ -1059,6 +1094,7 @@ mod tests {
             messages: MessageStats::default(),
             crashed: 0,
             joined: 0,
+            phase_metrics: Vec::new(),
         };
         assert_eq!(
             fragmentation_error(&report),
@@ -1081,6 +1117,7 @@ mod tests {
             messages: MessageStats::default(),
             crashed: 0,
             joined: 0,
+            phase_metrics: Vec::new(),
         };
         let stalled = PhaseOutcome::Stalled {
             rounds: 1,
@@ -1237,5 +1274,72 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn every_simulated_phase_reports_its_metrics() {
+        let n = 64;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(5);
+        let report = OverlayBuilder::new(params)
+            .build_under_faults(&g, &FaultPlan::default().with_drop_prob(0.02))
+            .expect("valid input");
+        let names: Vec<&str> = report.phase_metrics.iter().map(|m| m.phase).collect();
+        assert_eq!(names, vec!["create-expander", "bfs", "binarize"]);
+        // The rollups reconcile with the run-global books.
+        assert_eq!(
+            report.phase_metrics[0].rounds,
+            report.rounds.construction + 1,
+            "phase rounds include the start round"
+        );
+        let delivered: u64 = report.phase_metrics.iter().map(|m| m.delivered).sum();
+        assert_eq!(delivered, report.messages.total_delivered);
+        let faults: u64 = report.phase_metrics.iter().map(|m| m.dropped_fault).sum();
+        assert_eq!(faults, report.messages.dropped_fault);
+        assert!(faults > 0, "the loss plan must actually bite");
+        assert_eq!(
+            report.phase_metrics[0].dominant_drop().map(|(c, _)| c),
+            Some("fault")
+        );
+    }
+
+    #[test]
+    fn tracing_leaves_the_report_unchanged() {
+        let n = 64;
+        let g = generators::cycle(n);
+        let params = ExpanderParams::for_n(n).with_seed(9);
+        let plan = FaultPlan::default()
+            .with_drop_prob(0.05)
+            .with_crash(NodeId::from(3usize), 4);
+        let plain = OverlayBuilder::new(params)
+            .build_under_faults(&g, &plan)
+            .expect("valid input");
+        let buf = overlay_netsim::TraceBuffer::shared();
+        let traced = OverlayBuilder::new(params)
+            .build_under_faults_traced(&g, &plan, buf.clone())
+            .expect("valid input");
+        assert_eq!(plain.is_success(), traced.is_success());
+        assert_eq!(plain.rounds, traced.rounds);
+        assert_eq!(plain.messages, traced.messages);
+        assert_eq!(plain.phases, traced.phases);
+        assert_eq!(plain.survivor_ids, traced.survivor_ids);
+        assert_eq!(plain.phase_metrics, traced.phase_metrics);
+
+        // The trace brackets each simulated phase and saw the injected crash.
+        let events = buf.borrow().events.clone();
+        use overlay_netsim::TraceEvent;
+        let phase_starts: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseStart { phase } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phase_starts, vec!["create-expander", "bfs", "binarize"]);
+        assert!(events.contains(&TraceEvent::Crash {
+            round: 4,
+            node: NodeId::from(3usize)
+        }));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Drop { .. })));
     }
 }

@@ -56,5 +56,5 @@ pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};
 pub use overlay_netsim::TransportConfig;
 pub use params::{ExpanderParams, RoundBudget};
-pub use pipeline::{Phase, PhaseId, PhaseOverrides, PhaseRunner, TransportChoice};
+pub use pipeline::{Phase, PhaseId, PhaseMetrics, PhaseOverrides, PhaseRunner, TransportChoice};
 pub use wellformed::WellFormedTree;

@@ -25,8 +25,10 @@ use crate::wellformed::BinarizeNode;
 use crate::{ExpanderParams, RoundBudget};
 use overlay_graph::{DiGraph, NodeId, UGraph};
 use overlay_netsim::faults::FaultPlan;
+use overlay_netsim::trace::{SharedTraceSink, TraceEvent};
 use overlay_netsim::{Protocol, RunMetrics, SimConfig, Simulator, TransportConfig};
 use overlay_transport::Reliable;
+use std::time::{Duration, Instant};
 
 /// Identifies one of the three simulated phases of the paper's pipeline.
 ///
@@ -239,6 +241,121 @@ impl PhaseOverrides {
     }
 }
 
+/// Metric rollup for one *simulated* phase, answering "which stage ate the
+/// budget": rounds executed, delivery and drop totals by cause, transport
+/// overhead, and host wall-clock time.
+///
+/// One entry per [`PhaseRunner::run`] call is appended to
+/// [`BuildReport::phase_metrics`], in pipeline order, including phases that
+/// stalled (their partial totals are exactly what a post-mortem needs). Derived
+/// steps (`survivor-connectivity`, `bfs-convergence`, `finalize`) simulate
+/// nothing and have no entry.
+///
+/// Equality ignores [`PhaseMetrics::wall`] — it is host-machine noise, never part
+/// of the deterministic run identity — so traced and untraced runs of one seed
+/// compare equal. The counter taxonomy is the glossary in
+/// [`overlay_netsim::metrics`].
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseMetrics {
+    /// The phase's report name (a [`PhaseId::name`]).
+    pub phase: &'static str,
+    /// Rounds the phase executed (including its start round).
+    pub rounds: usize,
+    /// Messages delivered to inboxes.
+    pub delivered: u64,
+    /// Messages lost to injected random loss.
+    pub dropped_fault: u64,
+    /// Messages blocked by an active partition.
+    pub dropped_partition: u64,
+    /// Messages addressed to crashed or not-yet-joined nodes.
+    pub dropped_offline: u64,
+    /// Messages evicted by a receiver's per-round cap.
+    pub dropped_receive: u64,
+    /// Messages dropped at the sender (send cap, CONGEST edge discipline, or an
+    /// invalid recipient).
+    pub dropped_send: u64,
+    /// Messages that suffered an injected delivery delay.
+    pub delayed: u64,
+    /// Transport-layer retransmissions.
+    pub retransmits: u64,
+    /// Transport-layer acknowledgment messages.
+    pub acks: u64,
+    /// Duplicate payloads suppressed by the transport layer.
+    pub dupes_dropped: u64,
+    /// Payloads abandoned after the transport's retransmission budget ran out.
+    pub give_ups: u64,
+    /// Host wall-clock time spent simulating the phase. Ignored by `==`.
+    pub wall: Duration,
+}
+
+impl PhaseMetrics {
+    /// Rolls one phase's simulated [`RunMetrics`] up into a report entry.
+    pub fn from_run(phase: &'static str, metrics: &RunMetrics, wall: Duration) -> Self {
+        PhaseMetrics {
+            phase,
+            rounds: metrics.rounds,
+            delivered: metrics.total_delivered(),
+            dropped_fault: metrics.total_dropped_fault(),
+            dropped_partition: metrics.total_dropped_partition(),
+            dropped_offline: metrics.total_dropped_offline(),
+            dropped_receive: metrics.total_dropped_receive(),
+            dropped_send: metrics.total_dropped_send(),
+            delayed: metrics.total_delayed(),
+            retransmits: metrics.total_retransmits(),
+            acks: metrics.total_acks(),
+            dupes_dropped: metrics.total_dupes_dropped(),
+            give_ups: metrics.total_give_ups(),
+            wall,
+        }
+    }
+
+    /// Total drops across every cause.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_fault
+            + self.dropped_partition
+            + self.dropped_offline
+            + self.dropped_receive
+            + self.dropped_send
+    }
+
+    /// The drop cause that lost the most messages this phase, as
+    /// `(label, count)` — `None` when the phase dropped nothing. Ties resolve to
+    /// the first cause in glossary order (fault, partition, offline, receive-cap,
+    /// send-cap).
+    pub fn dominant_drop(&self) -> Option<(&'static str, u64)> {
+        let causes = [
+            ("fault", self.dropped_fault),
+            ("partition", self.dropped_partition),
+            ("offline", self.dropped_offline),
+            ("receive-cap", self.dropped_receive),
+            ("send-cap", self.dropped_send),
+        ];
+        causes
+            .into_iter()
+            .filter(|&(_, count)| count > 0)
+            .max_by_key(|&(_, count)| count)
+    }
+}
+
+impl PartialEq for PhaseMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything but `wall`, which is host noise.
+        self.phase == other.phase
+            && self.rounds == other.rounds
+            && self.delivered == other.delivered
+            && self.dropped_fault == other.dropped_fault
+            && self.dropped_partition == other.dropped_partition
+            && self.dropped_offline == other.dropped_offline
+            && self.dropped_receive == other.dropped_receive
+            && self.dropped_send == other.dropped_send
+            && self.delayed == other.delayed
+            && self.retransmits == other.retransmits
+            && self.acks == other.acks
+            && self.dupes_dropped == other.dupes_dropped
+            && self.give_ups == other.give_ups
+    }
+}
+
 /// Marker returned by [`PhaseRunner::run`] when the phase stalled: the stall has
 /// already been recorded in the report and the pipeline must exit via
 /// [`PhaseRunner::into_report`].
@@ -282,6 +399,9 @@ pub struct PhaseRunner {
     core: Option<Vec<usize>>,
     report: BuildReport,
     total_sent_per_node: Vec<u64>,
+    /// Trace sink handed to every phase's simulator (plus the runner's own
+    /// `PhaseStart` / `PhaseEnd` markers); `None` keeps runs completely untraced.
+    sink: Option<SharedTraceSink>,
 }
 
 impl PhaseRunner {
@@ -311,9 +431,18 @@ impl PhaseRunner {
                 messages: Default::default(),
                 crashed: 0,
                 joined: 0,
+                phase_metrics: Vec::new(),
             },
             total_sent_per_node: vec![0; n],
+            sink: None,
         }
+    }
+
+    /// Installs a trace sink: every subsequent phase brackets its simulation with
+    /// [`TraceEvent::PhaseStart`] / [`TraceEvent::PhaseEnd`] and streams the
+    /// simulator's events in between. Tracing never changes the run itself.
+    pub fn set_trace_sink(&mut self, sink: SharedTraceSink) {
+        self.sink = Some(sink);
     }
 
     /// The round budget `id` will run under: its override, or the builder-wide
@@ -358,14 +487,36 @@ impl PhaseRunner {
             self.seed.wrapping_add(id.index() as u64),
             faults,
         );
-        let run = run_phase(nodes, config, budget, self.effective_transport(id));
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(TraceEvent::PhaseStart { phase: id.name() });
+        }
+        let started = Instant::now();
+        let run = run_phase(
+            nodes,
+            config,
+            budget,
+            self.effective_transport(id),
+            self.sink.clone(),
+        );
+        let wall = started.elapsed();
         let rounds = run.outcome.rounds;
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(TraceEvent::PhaseEnd {
+                phase: id.name(),
+                rounds,
+                completed: run.outcome.all_done,
+            });
+        }
         match id {
             PhaseId::CreateExpander => self.report.rounds.construction = rounds,
             PhaseId::Bfs => self.report.rounds.bfs = rounds,
             PhaseId::Binarize => self.report.rounds.finalize = rounds,
         }
         self.absorb(&run.metrics);
+        self.report
+            .phase_metrics
+            .push(PhaseMetrics::from_run(id.name(), &run.metrics, wall));
         if !run.outcome.all_done {
             self.stall(id.name(), rounds, budget, run.done_count, run.alive.len());
             return Err(Stalled);
@@ -468,12 +619,17 @@ fn run_phase<P: Protocol>(
     config: SimConfig,
     budget: usize,
     transport: Option<TransportConfig>,
+    sink: Option<SharedTraceSink>,
 ) -> RawRun<P> {
     fn finish<Q: Protocol, P>(
         mut sim: Simulator<Q>,
         budget: usize,
+        sink: Option<SharedTraceSink>,
         unwrap: impl Fn(Q) -> P,
     ) -> RawRun<P> {
+        if let Some(sink) = sink {
+            sim.set_trace_sink(sink);
+        }
         let outcome = sim.run(budget);
         let alive = (0..sim.node_count())
             .map(|i| sim.is_active(NodeId::from(i)))
@@ -495,9 +651,10 @@ fn run_phase<P: Protocol>(
                 config,
             ),
             budget,
+            sink,
             Reliable::into_inner,
         ),
-        None => finish(Simulator::new(nodes, config), budget, |p| p),
+        None => finish(Simulator::new(nodes, config), budget, sink, |p| p),
     }
 }
 

@@ -69,6 +69,7 @@ pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod runtime;
+pub mod trace;
 pub mod transport;
 
 pub use caps::CapacityModel;
@@ -76,4 +77,5 @@ pub use faults::{CrashEvent, DelayModel, FaultPlan, FaultRouter, JoinEvent, Part
 pub use metrics::{RoundMetrics, RunMetrics, TransportCounters};
 pub use protocol::{Channel, Ctx, Envelope, Protocol};
 pub use runtime::{RunOutcome, SimConfig, Simulator};
+pub use trace::{DropCause, SharedTraceSink, TraceBuffer, TraceEvent, TraceSink};
 pub use transport::TransportConfig;

@@ -3,6 +3,32 @@
 //! The experiments of this reproduction are about *model-level* costs: how many rounds
 //! an algorithm takes and how many messages each node sends and receives per round.
 //! The simulator records those quantities here.
+//!
+//! # Drop-cause and counter glossary
+//!
+//! A message that is sent but never reaches its recipient's protocol callback is
+//! counted in exactly one of these buckets (the trace layer's
+//! [`crate::trace::DropCause`] uses the same taxonomy, with the send-side bucket
+//! split by cause):
+//!
+//! | Counter | Cause | Trace label |
+//! |---|---|---|
+//! | [`RoundMetrics::dropped_send`] | sender exceeded its per-round global send cap, a local message violated the CONGEST edge discipline, or the recipient id names no node | `send-cap`, `invalid-address` |
+//! | [`RoundMetrics::dropped_receive`] | receiver's per-round global receive cap evicted a random subset of its inbox | `receive-cap` |
+//! | [`RoundMetrics::dropped_fault`] | injected random loss ([`crate::FaultPlan::drop_prob`]) | `fault` |
+//! | [`RoundMetrics::dropped_partition`] | an active partition separates sender and receiver | `partition` |
+//! | [`RoundMetrics::dropped_offline`] | recipient is crashed or has not joined yet | `offline` |
+//!
+//! `delayed` is *not* a drop: a delayed message is re-counted as `delivered` in
+//! its actual delivery round (unless the run ends first).
+//!
+//! Transport-overhead counters (`retransmits`, `acks`, `dupes_dropped`,
+//! `give_ups`) are reported by reliable-delivery adapters via the
+//! [`crate::Ctx::note_retransmit`]-family hooks and are all zero for bare
+//! protocols. `dupes_dropped` payloads *do* appear in `delivered` — the network
+//! carried them, the transport suppressed them. `give_ups` counts payloads
+//! abandoned after the adapter's retransmission budget was exhausted (the peer
+//! is presumed dead).
 
 /// Communication counters for a single round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,6 +73,9 @@ pub struct RoundMetrics {
     /// [`crate::Ctx::note_dupe_dropped`]). These messages appear in `delivered`
     /// (the network did carry them) but never reached the wrapped protocol.
     pub dupes_dropped: usize,
+    /// Payloads abandoned by a transport layer this round after exhausting their
+    /// retransmission budget (via [`crate::Ctx::note_give_up`]).
+    pub give_ups: usize,
 }
 
 impl RoundMetrics {
@@ -55,6 +84,7 @@ impl RoundMetrics {
         self.retransmits += t.retransmits;
         self.acks += t.acks;
         self.dupes_dropped += t.dupes_dropped;
+        self.give_ups += t.give_ups;
     }
 }
 
@@ -69,6 +99,8 @@ pub struct TransportCounters {
     pub acks: usize,
     /// Duplicate payloads suppressed before reaching the wrapped protocol.
     pub dupes_dropped: usize,
+    /// Payloads abandoned after their retransmission budget ran out.
+    pub give_ups: usize,
 }
 
 /// Aggregated communication counters for a whole run.
@@ -193,6 +225,11 @@ impl RunMetrics {
         self.per_round.iter().map(|r| r.dupes_dropped as u64).sum()
     }
 
+    /// Total payloads abandoned by a transport layer over the whole run.
+    pub fn total_give_ups(&self) -> u64 {
+        self.per_round.iter().map(|r| r.give_ups as u64).sum()
+    }
+
     /// The maximum total number of messages any single node sent over the whole run
     /// (the paper bounds this by `O(log² n)` for the main algorithm).
     pub fn max_total_sent_per_node(&self) -> u64 {
@@ -233,6 +270,7 @@ mod tests {
             retransmits: 2,
             acks: 4,
             dupes_dropped: 1,
+            give_ups: 1,
         });
         m.per_round.push(RoundMetrics {
             max_sent: 1,
@@ -251,6 +289,7 @@ mod tests {
             retransmits: 1,
             acks: 3,
             dupes_dropped: 0,
+            give_ups: 2,
         });
         m.total_sent_per_node = vec![7, 2];
         assert_eq!(m.max_sent_in_any_round(), 3);
@@ -269,6 +308,7 @@ mod tests {
         assert_eq!(m.total_retransmits(), 3);
         assert_eq!(m.total_acks(), 7);
         assert_eq!(m.total_dupes_dropped(), 1);
+        assert_eq!(m.total_give_ups(), 3);
     }
 
     #[test]
@@ -278,8 +318,12 @@ mod tests {
             retransmits: 2,
             acks: 1,
             dupes_dropped: 3,
+            give_ups: 4,
         });
         r.absorb_transport(&TransportCounters::default());
-        assert_eq!((r.retransmits, r.acks, r.dupes_dropped), (2, 1, 3));
+        assert_eq!(
+            (r.retransmits, r.acks, r.dupes_dropped, r.give_ups),
+            (2, 1, 3, 4)
+        );
     }
 }

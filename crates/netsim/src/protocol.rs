@@ -166,6 +166,12 @@ impl<'a, M> Ctx<'a, M> {
     pub fn note_dupe_dropped(&mut self) {
         self.transport.dupes_dropped += 1;
     }
+
+    /// Records one payload abandoned after its retransmission budget ran out
+    /// (folded into [`crate::RoundMetrics::give_ups`]).
+    pub fn note_give_up(&mut self) {
+        self.transport.give_ups += 1;
+    }
 }
 
 #[cfg(test)]

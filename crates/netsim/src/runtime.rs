@@ -4,6 +4,7 @@ use crate::caps::CapacityModel;
 use crate::faults::{DropReason, FaultPlan, FaultRouter, Route};
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::protocol::{Channel, Ctx, Envelope, Protocol};
+use crate::trace::{DropCause, SharedTraceSink, TraceEvent};
 use overlay_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -231,6 +232,10 @@ pub struct Simulator<P: Protocol> {
     metrics: RunMetrics,
     round: usize,
     started: bool,
+    /// Structured-event sink; `None` (the default) skips all trace work. The
+    /// simulator never draws randomness or moves messages on behalf of the
+    /// sink, so traced and untraced runs of one seed are byte-identical.
+    sink: Option<SharedTraceSink>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -275,7 +280,59 @@ impl<P: Protocol> Simulator<P> {
             metrics: RunMetrics::new(n),
             round: 0,
             started: false,
+            sink: None,
         }
+    }
+
+    /// Installs a structured-event trace sink (see [`crate::trace`]). The sink
+    /// observes every subsequent round; installing one never perturbs the
+    /// simulation itself (no RNG draws, no message reordering).
+    pub fn set_trace_sink(&mut self, sink: SharedTraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes the trace sink, returning the run to the zero-cost untraced mode.
+    pub fn clear_trace_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Emits the round's lifecycle identity events (who crashed, who joined)
+    /// in node order. Only called when a sink is installed — the identity scan
+    /// is O(n) and the untraced path keeps the cheap count-only bookkeeping of
+    /// [`FaultRouter::record_lifecycle`].
+    fn emit_lifecycle(&self, round: usize) {
+        let Some(sink) = &self.sink else { return };
+        let mut sink = sink.borrow_mut();
+        for i in 0..self.nodes.len() {
+            if self.router.is_crashed(i, round)
+                && (round == 0 || !self.router.is_crashed(i, round - 1))
+            {
+                sink.record(TraceEvent::Crash {
+                    round,
+                    node: NodeId::from(i),
+                });
+            }
+            if self.router.joins_at(i, round) {
+                sink.record(TraceEvent::Join {
+                    round,
+                    node: NodeId::from(i),
+                });
+            }
+        }
+    }
+
+    /// Emits the round-end rollup for `round_metrics`.
+    fn emit_round_end(&self, round: usize, round_metrics: &RoundMetrics) {
+        let Some(sink) = &self.sink else { return };
+        sink.borrow_mut().record(TraceEvent::RoundEnd {
+            round,
+            delivered: round_metrics.delivered,
+            dropped: round_metrics.dropped_receive
+                + round_metrics.dropped_send
+                + round_metrics.dropped_fault
+                + round_metrics.dropped_partition
+                + round_metrics.dropped_offline,
+        });
     }
 
     /// Number of nodes.
@@ -356,6 +413,10 @@ impl<P: Protocol> Simulator<P> {
         let n = self.nodes.len();
         self.round += 1;
         let round = self.round;
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(TraceEvent::RoundStart { round });
+        }
+        self.emit_lifecycle(round);
 
         // Delayed messages surface in their scheduled round; liveness of the
         // recipient at this round was already checked when they were routed.
@@ -404,10 +465,27 @@ impl<P: Protocol> Simulator<P> {
                     self.nodes[i].on_round(&mut ctx, self.arena.inbox(i));
                 }
                 round_metrics.absorb_transport(&ctx.transport);
+                if let Some(sink) = &self.sink {
+                    if ctx.transport.retransmits > 0 {
+                        sink.borrow_mut().record(TraceEvent::Retransmits {
+                            round,
+                            node: NodeId::from(i),
+                            count: ctx.transport.retransmits,
+                        });
+                    }
+                    if ctx.transport.give_ups > 0 {
+                        sink.borrow_mut().record(TraceEvent::GiveUps {
+                            round,
+                            node: NodeId::from(i),
+                            count: ctx.transport.give_ups,
+                        });
+                    }
+                }
             }
             self.out_lens[i] = self.outbox.len() - base;
         }
         self.dispatch(&mut round_metrics);
+        self.emit_round_end(round, &round_metrics);
         self.metrics.per_round.push(round_metrics);
         self.metrics.rounds = self.metrics.per_round.len();
     }
@@ -418,6 +496,11 @@ impl<P: Protocol> Simulator<P> {
         }
         self.started = true;
         let n = self.nodes.len();
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(TraceEvent::RoundStart { round: 0 });
+        }
+        self.emit_lifecycle(0);
         let mut round_metrics = RoundMetrics::default();
         self.router.record_lifecycle(0, &mut round_metrics);
         self.outbox.clear();
@@ -437,10 +520,27 @@ impl<P: Protocol> Simulator<P> {
                 };
                 self.nodes[i].on_start(&mut ctx);
                 round_metrics.absorb_transport(&ctx.transport);
+                if let Some(sink) = &self.sink {
+                    if ctx.transport.retransmits > 0 {
+                        sink.borrow_mut().record(TraceEvent::Retransmits {
+                            round: 0,
+                            node: NodeId::from(i),
+                            count: ctx.transport.retransmits,
+                        });
+                    }
+                    if ctx.transport.give_ups > 0 {
+                        sink.borrow_mut().record(TraceEvent::GiveUps {
+                            round: 0,
+                            node: NodeId::from(i),
+                            count: ctx.transport.give_ups,
+                        });
+                    }
+                }
             }
             self.out_lens[i] = self.outbox.len() - base;
         }
         self.dispatch(&mut round_metrics);
+        self.emit_round_end(0, &round_metrics);
         self.metrics.per_round.push(round_metrics);
         self.metrics.rounds = self.metrics.per_round.len();
     }
@@ -489,6 +589,20 @@ impl<P: Protocol> Simulator<P> {
                 self.drop_mark[k] = true;
             }
             round_metrics.dropped_receive += global_count - cap;
+            // The dropped senders are still readable here; `retain_range` below
+            // compacts them out of the inbox.
+            if let Some(sink) = &self.sink {
+                let mut sink = sink.borrow_mut();
+                for &k in &self.cap_scratch[cap..] {
+                    sink.record(TraceEvent::Drop {
+                        round: self.round,
+                        from: self.arena.buf[start + k].from,
+                        to: NodeId::from(i),
+                        channel: Channel::Global,
+                        cause: DropCause::ReceiveCap,
+                    });
+                }
+            }
             self.arena.retain_range(i, &self.drop_mark);
         }
     }
@@ -516,6 +630,15 @@ impl<P: Protocol> Simulator<P> {
             for (to, channel, payload) in messages.by_ref().take(self.out_lens[i]) {
                 if to.index() >= n {
                     round_metrics.dropped_send += 1;
+                    if let Some(sink) = &self.sink {
+                        sink.borrow_mut().record(TraceEvent::Drop {
+                            round: self.round,
+                            from: sender,
+                            to,
+                            channel,
+                            cause: DropCause::InvalidAddress,
+                        });
+                    }
                     continue;
                 }
                 let allowed = match channel {
@@ -539,6 +662,15 @@ impl<P: Protocol> Simulator<P> {
                 };
                 if !allowed {
                     round_metrics.dropped_send += 1;
+                    if let Some(sink) = &self.sink {
+                        sink.borrow_mut().record(TraceEvent::Drop {
+                            round: self.round,
+                            from: sender,
+                            to,
+                            channel,
+                            cause: DropCause::SendCap,
+                        });
+                    }
                     continue;
                 }
                 if channel == Channel::Local {
@@ -563,9 +695,22 @@ impl<P: Protocol> Simulator<P> {
                         round_metrics.delayed += 1;
                         self.router.buffer(deliver_round, to, env);
                     }
-                    Route::Drop(DropReason::Fault) => round_metrics.dropped_fault += 1,
-                    Route::Drop(DropReason::Partition) => round_metrics.dropped_partition += 1,
-                    Route::Drop(DropReason::Offline) => round_metrics.dropped_offline += 1,
+                    Route::Drop(reason) => {
+                        match reason {
+                            DropReason::Fault => round_metrics.dropped_fault += 1,
+                            DropReason::Partition => round_metrics.dropped_partition += 1,
+                            DropReason::Offline => round_metrics.dropped_offline += 1,
+                        }
+                        if let Some(sink) = &self.sink {
+                            sink.borrow_mut().record(TraceEvent::Drop {
+                                round: self.round,
+                                from: sender,
+                                to,
+                                channel,
+                                cause: reason.into(),
+                            });
+                        }
+                    }
                 }
             }
             round_metrics.max_sent = round_metrics.max_sent.max(total_sent);
@@ -945,5 +1090,111 @@ mod tests {
             faults: Default::default(),
         };
         let _ = Simulator::new(flooders(3, 1, 1), config);
+    }
+
+    /// A config exercising every drop path: tight caps, random loss, a crash,
+    /// and a late joiner.
+    fn stormy_config() -> SimConfig {
+        SimConfig {
+            caps: CapacityModel::Ncc0 { per_round: 3 },
+            seed: 11,
+            local_edges: None,
+            faults: FaultPlan::default()
+                .with_drop_prob(0.3)
+                .with_crash(NodeId::from(1usize), 2)
+                .with_join(NodeId::from(2usize), 3),
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_run() {
+        let run = |traced: bool| {
+            let mut sim = Simulator::new(flooders(8, 2, 5), stormy_config());
+            let buf = crate::trace::TraceBuffer::shared();
+            if traced {
+                sim.set_trace_sink(buf.clone());
+            }
+            let outcome = sim.run(12);
+            let events = buf.borrow().events.len();
+            (outcome, sim.metrics().clone(), events)
+        };
+        let (plain_outcome, plain_metrics, plain_events) = run(false);
+        let (traced_outcome, traced_metrics, traced_events) = run(true);
+        assert_eq!(plain_events, 0, "no sink, no events");
+        assert!(traced_events > 0);
+        assert_eq!(plain_outcome.rounds, traced_outcome.rounds);
+        assert_eq!(plain_outcome.all_done, traced_outcome.all_done);
+        assert_eq!(plain_metrics, traced_metrics, "RNG-stream identity");
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(flooders(8, 2, 5), stormy_config());
+            let buf = crate::trace::TraceBuffer::shared();
+            sim.set_trace_sink(buf.clone());
+            sim.run(12);
+            let events = buf.borrow().events.clone();
+            events
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_records_lifecycle_and_drops() {
+        let mut sim = Simulator::new(flooders(8, 2, 5), stormy_config());
+        let buf = crate::trace::TraceBuffer::shared();
+        sim.set_trace_sink(buf.clone());
+        sim.run(12);
+        let events = buf.borrow().events.clone();
+
+        assert_eq!(events.first(), Some(&TraceEvent::RoundStart { round: 0 }));
+        assert!(events.contains(&TraceEvent::Crash {
+            round: 2,
+            node: NodeId::from(1usize)
+        }));
+        assert!(events.contains(&TraceEvent::Join {
+            round: 3,
+            node: NodeId::from(2usize)
+        }));
+
+        // Each drop cause seen in the trace matches the metrics counter it is
+        // documented against.
+        let drops_by = |cause: DropCause| {
+            events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Drop { cause: c, .. } if *c == cause))
+                .count() as u64
+        };
+        let m = sim.metrics();
+        assert_eq!(drops_by(DropCause::Fault), m.total_dropped_fault());
+        assert_eq!(drops_by(DropCause::Offline), m.total_dropped_offline());
+        assert_eq!(drops_by(DropCause::ReceiveCap), m.total_dropped_receive());
+        assert_eq!(
+            drops_by(DropCause::SendCap) + drops_by(DropCause::InvalidAddress),
+            m.total_dropped_send()
+        );
+        assert!(m.total_dropped_fault() > 0, "the storm must actually drop");
+        assert!(m.total_dropped_receive() > 0);
+
+        // Every round is bracketed by a RoundStart / RoundEnd pair, and the
+        // RoundEnd rollups re-add to the run totals.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RoundStart { .. }))
+            .count();
+        let ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundEnd {
+                    delivered, dropped, ..
+                } => Some((*delivered, *dropped)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, ends.len());
+        assert_eq!(starts, m.rounds);
+        let traced_delivered: u64 = ends.iter().map(|(d, _)| *d as u64).sum();
+        assert_eq!(traced_delivered, m.total_delivered());
     }
 }

@@ -1,0 +1,267 @@
+//! Structured event tracing for simulation runs.
+//!
+//! A [`TraceSink`] installed on a [`crate::Simulator`] (via
+//! [`crate::Simulator::set_trace_sink`]) receives one [`TraceEvent`] per
+//! observable incident of a run: round boundaries, every dropped message with
+//! its cause and src/dst edge, crash and join lifecycle events, and the
+//! transport layer's retransmission / give-up activity. Pipeline harnesses
+//! additionally emit [`TraceEvent::PhaseStart`] / [`TraceEvent::PhaseEnd`]
+//! markers so a single trace covers a whole multi-phase run.
+//!
+//! # The zero-cost contract
+//!
+//! Tracing must never change what a run *does*. The simulator guarantees:
+//!
+//! * **No sink, no work**: every emission site is guarded by an
+//!   `Option` check on the installed sink; with no sink installed the run
+//!   performs no per-event allocation, iteration, or formatting.
+//! * **RNG-stream identity**: emission never draws from any RNG and never
+//!   reorders or re-buffers messages, so a traced run is byte-identical (same
+//!   metrics, same node states, same report) to an untraced run of the same
+//!   seed. Tests in `runtime.rs` and the scenario crate pin this down.
+//!
+//! Sinks are shared as [`SharedTraceSink`] (`Rc<RefCell<dyn TraceSink>>`) so
+//! one buffer can observe several consecutive simulations — e.g. the three
+//! phases of the overlay pipeline — without ownership gymnastics.
+
+use crate::faults::DropReason;
+use crate::protocol::Channel;
+use overlay_graph::NodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Why a message never reached its recipient.
+///
+/// The first three variants mirror [`DropReason`] (the fault router's verdicts);
+/// the rest are capacity-model and addressing drops decided by the simulator
+/// itself. See the glossary in [`crate::metrics`] for how each cause maps onto
+/// the [`crate::RoundMetrics`] counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// Injected random loss ([`crate::RoundMetrics::dropped_fault`]).
+    Fault,
+    /// Blocked by an active partition ([`crate::RoundMetrics::dropped_partition`]).
+    Partition,
+    /// Addressed to a crashed or not-yet-joined node
+    /// ([`crate::RoundMetrics::dropped_offline`]).
+    Offline,
+    /// The sender exceeded its per-round send cap, or a local message violated
+    /// the CONGEST edge discipline ([`crate::RoundMetrics::dropped_send`]).
+    SendCap,
+    /// The receiver's per-round global receive cap evicted the message
+    /// ([`crate::RoundMetrics::dropped_receive`]).
+    ReceiveCap,
+    /// The recipient identifier does not name a node
+    /// (counted under [`crate::RoundMetrics::dropped_send`]).
+    InvalidAddress,
+}
+
+impl DropCause {
+    /// Stable lowercase label used in serialized traces and post-mortems.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::Fault => "fault",
+            DropCause::Partition => "partition",
+            DropCause::Offline => "offline",
+            DropCause::SendCap => "send-cap",
+            DropCause::ReceiveCap => "receive-cap",
+            DropCause::InvalidAddress => "invalid-address",
+        }
+    }
+}
+
+impl From<DropReason> for DropCause {
+    fn from(reason: DropReason) -> Self {
+        match reason {
+            DropReason::Fault => DropCause::Fault,
+            DropReason::Partition => DropCause::Partition,
+            DropReason::Offline => DropCause::Offline,
+        }
+    }
+}
+
+/// One observable incident of a simulation run.
+///
+/// Events are emitted in deterministic order: a `RoundStart`, then the round's
+/// lifecycle events (`Crash` / `Join` in node order), then `Drop` events in
+/// delivery/dispatch order, per-node `Retransmits` / `GiveUps` in node order,
+/// and finally the `RoundEnd` rollup. Round numbers are *per simulation*: a
+/// multi-phase pipeline restarts at round 0 inside each `PhaseStart` /
+/// `PhaseEnd` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A simulated round began (`round` 0 is the start-callback round).
+    RoundStart {
+        /// The round number.
+        round: usize,
+    },
+    /// A simulated round finished, with its headline delivery counts.
+    RoundEnd {
+        /// The round number.
+        round: usize,
+        /// Messages delivered to inboxes this round.
+        delivered: usize,
+        /// Messages dropped this round, all causes combined.
+        dropped: usize,
+    },
+    /// A pipeline phase began (emitted by phase harnesses, not the simulator).
+    PhaseStart {
+        /// The phase's report name (e.g. `create-expander`).
+        phase: &'static str,
+    },
+    /// A pipeline phase ended (emitted by phase harnesses, not the simulator).
+    PhaseEnd {
+        /// The phase's report name.
+        phase: &'static str,
+        /// Rounds the phase executed.
+        rounds: usize,
+        /// Whether every node finished within the phase's budget.
+        completed: bool,
+    },
+    /// A message was dropped instead of delivered.
+    Drop {
+        /// The round the drop happened in.
+        round: usize,
+        /// The sending node.
+        from: NodeId,
+        /// The addressed recipient.
+        to: NodeId,
+        /// The channel the message travelled on.
+        channel: Channel,
+        /// Why the message was dropped.
+        cause: DropCause,
+    },
+    /// A node crashed at the start of this round (crash-stop; it stays silent
+    /// for the rest of the simulation).
+    Crash {
+        /// The first round the node is dead in.
+        round: usize,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A late joiner activated at the start of this round.
+    Join {
+        /// The node's first active round.
+        round: usize,
+        /// The joining node.
+        node: NodeId,
+    },
+    /// A node's reliable-transport layer re-sent unacknowledged data this
+    /// round (aggregated per node per round).
+    Retransmits {
+        /// The round the retransmissions were sent in.
+        round: usize,
+        /// The retransmitting node.
+        node: NodeId,
+        /// Number of data messages re-sent.
+        count: usize,
+    },
+    /// A node's reliable-transport layer gave up on unacknowledged payloads
+    /// this round (the peer exhausted its retransmission budget and is
+    /// presumed gone; aggregated per node per round).
+    GiveUps {
+        /// The round the payloads were abandoned in.
+        round: usize,
+        /// The abandoning node.
+        node: NodeId,
+        /// Number of payloads abandoned.
+        count: usize,
+    },
+}
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// `Debug` is a supertrait so sinks can live inside the (`Debug`-derived)
+/// simulator. Implementations should be cheap: they run inline with the
+/// simulation whenever installed.
+pub trait TraceSink: std::fmt::Debug {
+    /// Receives one event, in emission order.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// A sink handle shareable between a harness and the simulators it drives.
+pub type SharedTraceSink = Rc<RefCell<dyn TraceSink>>;
+
+/// The simplest useful sink: an in-memory event log.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    /// Every recorded event, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// An empty buffer behind a shared handle: clone one side into
+    /// [`crate::Simulator::set_trace_sink`] (it coerces to [`SharedTraceSink`])
+    /// and keep the other to read the events back after the run.
+    pub fn shared() -> Rc<RefCell<TraceBuffer>> {
+        Rc::new(RefCell::new(TraceBuffer::new()))
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_records_in_order() {
+        let buf = TraceBuffer::shared();
+        let sink: SharedTraceSink = buf.clone();
+        sink.borrow_mut()
+            .record(TraceEvent::RoundStart { round: 0 });
+        sink.borrow_mut().record(TraceEvent::Crash {
+            round: 0,
+            node: NodeId::from(3usize),
+        });
+        let events = buf.borrow().events.clone();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::RoundStart { round: 0 },
+                TraceEvent::Crash {
+                    round: 0,
+                    node: NodeId::from(3usize)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_causes_have_stable_labels() {
+        let labels: Vec<&str> = [
+            DropCause::Fault,
+            DropCause::Partition,
+            DropCause::Offline,
+            DropCause::SendCap,
+            DropCause::ReceiveCap,
+            DropCause::InvalidAddress,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "fault",
+                "partition",
+                "offline",
+                "send-cap",
+                "receive-cap",
+                "invalid-address"
+            ]
+        );
+        assert_eq!(DropCause::from(DropReason::Fault), DropCause::Fault);
+        assert_eq!(DropCause::from(DropReason::Partition), DropCause::Partition);
+        assert_eq!(DropCause::from(DropReason::Offline), DropCause::Offline);
+    }
+}

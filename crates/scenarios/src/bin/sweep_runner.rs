@@ -14,6 +14,16 @@
 //!   --compare       after the sweeps, print the baseline-vs-twin delta table
 //!                   (success, rounds, delivered, retransmits per registered
 //!                   pair) and persist it to `<dir>/compare.md`
+//!   --no-run        with --compare: build the delta table from the *committed*
+//!                   reports under `<dir>` without re-sweeping anything
+//!   --trace NAME    run scenario NAME once (under --seed) with tracing on,
+//!                   write the JSONL event trace to
+//!                   `<dir>/traces/<NAME>-seed<S>.jsonl`, print its
+//!                   post-mortem, and exit
+//!   --seed S        the seed for --trace (default 0)
+//!   --explain       after each sweep, print a forensic post-mortem (failing
+//!                   phase, missing nodes, dominant drop cause, dead-peer
+//!                   burn) for every failed seed
 //!   --list          print the registry (name, family, n, faults, tags,
 //!                   baseline) and exit without running anything
 //!   --tag T         restrict --list and the default sweep selection to
@@ -26,8 +36,14 @@
 //! per-counter diff. The `--full` sweeps are deliberately outside that contract:
 //! they take minutes and exist to spot-check large-n behavior on demand, so they
 //! are written to an untracked `full/` subdirectory and skipped by `--check`.
+//!
+//! Environment facts (wall-clock, worker count) never enter a report body; each
+//! sweep instead writes them to an untracked `<dir>/<name>.meta.json` sidecar.
+//! Traces are likewise derived output under the untracked `<dir>/traces/`.
 
-use overlay_scenarios::{compare, full_registry, registry, report, Scenario, Sweep, SweepReport};
+use overlay_scenarios::{
+    compare, full_registry, post_mortem, registry, report, trace, Scenario, Sweep, SweepReport,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,6 +54,10 @@ struct Options {
     check: bool,
     full: bool,
     compare: bool,
+    no_run: bool,
+    trace: Option<String>,
+    seed: u64,
+    explain: bool,
     list: bool,
     tag: Option<String>,
     names: Vec<String>,
@@ -51,6 +71,10 @@ fn parse_args() -> Result<Options, String> {
         check: false,
         full: false,
         compare: false,
+        no_run: false,
+        trace: None,
+        seed: 0,
+        explain: false,
         list: false,
         tag: None,
         names: Vec::new(),
@@ -73,12 +97,21 @@ fn parse_args() -> Result<Options, String> {
             "--check" => opts.check = true,
             "--full" => opts.full = true,
             "--compare" => opts.compare = true,
+            "--no-run" => opts.no_run = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--explain" => opts.explain = true,
             "--list" => opts.list = true,
             "--tag" => opts.tag = Some(value("--tag")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
-                            [--check] [--full] [--compare] [--list] [--tag T] \
+                            [--check] [--full] [--compare [--no-run]] \
+                            [--trace NAME [--seed S]] [--explain] [--list] [--tag T] \
                             [SCENARIO...]"
                         .into(),
                 )
@@ -86,6 +119,9 @@ fn parse_args() -> Result<Options, String> {
             name if !name.starts_with('-') => opts.names.push(name.to_string()),
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if opts.no_run && !opts.compare {
+        return Err("--no-run only makes sense with --compare".into());
     }
     Ok(opts)
 }
@@ -158,6 +194,73 @@ fn print_listing(opts: &Options) {
     }
 }
 
+/// `--trace NAME`: one traced run of `NAME` under `--seed`, its JSONL event
+/// stream written to `<dir>/traces/`, its post-mortem printed. The traced run is
+/// behaviorally identical to the untraced one (the sink never draws RNG), so the
+/// trace explains exactly the run a sweep would have executed.
+fn trace_one(name: &str, opts: &Options) -> ExitCode {
+    let scenario = match registry().find(name).or_else(|| full_registry().find(name)) {
+        Some(s) => s.clone(),
+        None => {
+            eprintln!("unknown scenario {name:?}; known: {}", known_names());
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = scenario.run_traced(opts.seed);
+    let dir = opts.dir.join("traces");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = dir.join(format!("{}-seed{}.jsonl", scenario.name, opts.seed));
+    if let Err(e) = std::fs::write(&path, trace::to_jsonl(&run.events)) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{} events written to {}", run.events.len(), path.display());
+    print!("{}", post_mortem(&scenario, &run).render());
+    ExitCode::SUCCESS
+}
+
+/// `--compare --no-run`: rebuild the delta table from the committed reports
+/// under `<dir>` without sweeping anything. Pairs missing either committed
+/// report are skipped (e.g. a twin added but not yet baselined); a present but
+/// malformed report is an error.
+fn compare_committed(opts: &Options) -> ExitCode {
+    let mut deltas = Vec::new();
+    for (base, twin) in registry().pairs() {
+        let load = |s: &Scenario| report::load_report(opts.dir.join(format!("{}.json", s.name)));
+        let (base_doc, twin_doc) = match (load(base), load(twin)) {
+            (Ok(b), Ok(t)) => (b, t),
+            _ => continue,
+        };
+        let axis = twin.axis.map(|a| a.label().to_string()).unwrap_or_default();
+        match compare::PairDelta::from_committed(&base_doc, &twin_doc, &axis) {
+            Ok(d) => deltas.push(d),
+            Err(e) => {
+                eprintln!("--compare --no-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if deltas.is_empty() {
+        eprintln!(
+            "--compare --no-run: no (baseline, twin) pair has both reports under {}",
+            opts.dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{}", compare::render_table(&deltas));
+    match compare::write_compare_table(&deltas, opts.seeds, &opts.dir) {
+        Ok(path) => eprintln!("delta table persisted to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write delta table: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -169,6 +272,12 @@ fn main() -> ExitCode {
     if opts.list {
         print_listing(&opts);
         return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &opts.trace {
+        return trace_one(name, &opts);
+    }
+    if opts.no_run {
+        return compare_committed(&opts);
     }
     let scenarios = match selected(&opts) {
         Ok(s) => s,
@@ -192,6 +301,14 @@ fn main() -> ExitCode {
         let sweep = Sweep::over_seeds(scenario, opts.first_seed, opts.seeds);
         let result = sweep.run();
         println!("{}", result.summary());
+        if opts.explain {
+            // Failed seeds are cheap to replay one at a time: re-run each under a
+            // trace sink (bitwise-identical behavior) and print its post-mortem.
+            for record in result.records.iter().filter(|r| !r.success) {
+                let run = result.scenario.run_traced(record.seed);
+                print!("{}", post_mortem(&result.scenario, &run).render());
+            }
+        }
 
         let path = dir.join(format!("{}.json", result.scenario.name));
         let mut regressed = false;
@@ -239,6 +356,9 @@ fn main() -> ExitCode {
             regressions += 1;
         } else if let Err(e) = report::write_report(&result, &dir) {
             eprintln!("  cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        } else if let Err(e) = report::write_meta(&result, &dir) {
+            eprintln!("  cannot write meta sidecar: {e}");
             return ExitCode::FAILURE;
         }
         results.push(result);

@@ -13,6 +13,7 @@
 //! and worker counts never enter), so regenerating it on an unchanged tree is
 //! byte-identical.
 
+use crate::json::Json;
 use crate::sweep::SweepReport;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -52,6 +53,84 @@ impl PairDelta {
             delivered: (base.mean_delivered(), twin.mean_delivered()),
             retransmits: (base.total_retransmits(), twin.total_retransmits()),
         }
+    }
+
+    /// Condenses a couple of *committed* report documents (as parsed by
+    /// [`crate::report::load_report`]) into the same headline deltas — no
+    /// re-sweep needed, which is what makes `sweep_runner --compare --no-run`
+    /// free in CI. `axis` comes from the registry (the variant axis is not part
+    /// of the report body).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped header field; a
+    /// document written by [`crate::report::write_report`] always has them all.
+    pub fn from_committed(base: &Json, twin: &Json, axis: &str) -> Result<PairDelta, String> {
+        let scenario = |doc: &Json, side: &str| -> Result<String, String> {
+            str_field(doc, "scenario").ok_or_else(|| format!("{side}: missing \"scenario\""))
+        };
+        let headline = |doc: &Json| -> Result<(f64, f64, f64, u64), String> {
+            let name = scenario(doc, "report")?;
+            let get = |key: &str| {
+                num_field(doc, key)
+                    .ok_or_else(|| format!("{name}: missing or non-numeric \"{key}\""))
+            };
+            Ok((
+                get("success_rate")?,
+                get("mean_rounds")?,
+                get("mean_delivered")?,
+                uint_field(doc, "total_retransmits").ok_or_else(|| {
+                    format!("{name}: missing or non-numeric \"total_retransmits\"")
+                })?,
+            ))
+        };
+        let b = headline(base)?;
+        let t = headline(twin)?;
+        Ok(PairDelta {
+            baseline: scenario(base, "baseline")?,
+            twin: scenario(twin, "twin")?,
+            axis: axis.to_string(),
+            success: (b.0, t.0),
+            rounds: (b.1, t.1),
+            delivered: (b.2, t.2),
+            retransmits: (b.3, t.3),
+        })
+    }
+}
+
+/// Looks up a top-level object field.
+fn field<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// A top-level string field.
+fn str_field(doc: &Json, key: &str) -> Option<String> {
+    match field(doc, key)? {
+        Json::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// A top-level numeric field as `f64` (integral values reparse as ints, so all
+/// three numeric variants are accepted).
+fn num_field(doc: &Json, key: &str) -> Option<f64> {
+    match field(doc, key)? {
+        Json::Num(x) => Some(*x),
+        Json::Int(i) => Some(*i as f64),
+        Json::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// A top-level non-negative integer field.
+fn uint_field(doc: &Json, key: &str) -> Option<u64> {
+    match field(doc, key)? {
+        Json::Int(i) if *i >= 0 => Some(*i as u64),
+        Json::UInt(u) => Some(*u),
+        _ => None,
     }
 }
 
@@ -146,6 +225,39 @@ mod tests {
             table,
             render_table(std::slice::from_ref(&lossy_pair_delta(2)))
         );
+    }
+
+    #[test]
+    fn committed_reports_reproduce_the_live_delta() {
+        // --compare --no-run must agree with a fresh sweep, by construction:
+        // write both reports, reload them, and compare the two delta paths.
+        let (base, twin) = registry()
+            .pairs()
+            .find(|(_, t)| t.name == "lossy-ncc0-reliable")
+            .expect("pair registered");
+        let base_report = Sweep::over_seeds(base.clone(), 0, 2).run();
+        let twin_report = Sweep::over_seeds(twin.clone(), 0, 2).run();
+        let live = PairDelta::from_reports(&base_report, &twin_report);
+
+        let dir = std::env::temp_dir().join(format!("overlay-committed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base_path = crate::report::write_report(&base_report, &dir).unwrap();
+        let twin_path = crate::report::write_report(&twin_report, &dir).unwrap();
+        let committed = PairDelta::from_committed(
+            &crate::report::load_report(&base_path).unwrap(),
+            &crate::report::load_report(&twin_path).unwrap(),
+            &live.axis,
+        )
+        .expect("written reports carry every headline field");
+        assert_eq!(committed, live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_committed_names_the_missing_field() {
+        let doc = Json::obj(vec![("scenario", Json::Str("x".into()))]);
+        let err = PairDelta::from_committed(&doc, &doc, "").unwrap_err();
+        assert!(err.contains("success_rate"), "{err}");
     }
 
     #[test]

@@ -61,15 +61,20 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod forensics;
 pub mod json;
 mod registry;
 pub mod report;
 mod scenario;
 mod sweep;
+pub mod trace;
 
+pub use forensics::{post_mortem, MissingCause, MissingNode, PostMortem};
 pub use json::Json;
-pub use overlay_core::{PhaseId, PhaseOverrides, RoundBudget, TransportChoice};
-pub use overlay_netsim::TransportConfig;
+pub use overlay_core::{PhaseId, PhaseMetrics, PhaseOverrides, RoundBudget, TransportChoice};
+pub use overlay_netsim::{TraceEvent, TransportConfig};
 pub use registry::{find, full_registry, registry, Registry, RegistryError};
-pub use scenario::{CapacityProfile, FaultSpec, GraphFamily, RunRecord, Scenario, VariantAxis};
+pub use scenario::{
+    CapacityProfile, FaultSpec, ForensicRun, GraphFamily, RunRecord, Scenario, VariantAxis,
+};
 pub use sweep::{Sweep, SweepReport};

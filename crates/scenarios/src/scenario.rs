@@ -1,11 +1,11 @@
 //! The declarative scenario type and its lowering into concrete runs.
 
 use overlay_core::{
-    ExpanderNode, ExpanderParams, OverlayBuilder, PhaseId, PhaseOverrides, RoundBudget,
-    TransportChoice,
+    BuildReport, ExpanderNode, ExpanderParams, OverlayBuilder, PhaseId, PhaseOverrides,
+    RoundBudget, TransportChoice,
 };
 use overlay_graph::{generators, DiGraph, NodeId};
-use overlay_netsim::{FaultPlan, TransportConfig};
+use overlay_netsim::{FaultPlan, TraceBuffer, TraceEvent, TransportConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -401,6 +401,19 @@ pub struct RunRecord {
     pub stalled_phase: &'static str,
 }
 
+/// Everything a traced run reveals, produced by [`Scenario::run_traced`]: the
+/// sweep row, the full pipeline report (per-phase metrics included), and the
+/// structured event stream — the inputs the forensics analyzer works from.
+#[derive(Clone, Debug)]
+pub struct ForensicRun {
+    /// The same record [`Scenario::run`] would have produced for this seed.
+    pub record: RunRecord,
+    /// The full pipeline report, including [`BuildReport::phase_metrics`].
+    pub report: BuildReport,
+    /// The run's structured events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
 impl Scenario {
     /// A hand-authored baseline: clean faults, standard capacity, the paper's
     /// round budget, bare sends, no per-phase overrides, no tags, no baseline.
@@ -613,8 +626,9 @@ impl Scenario {
         self.family.actual_n(self.n)
     }
 
-    /// Runs the scenario once under `seed`, deterministically.
-    pub fn run(&self, seed: u64) -> RunRecord {
+    /// Lowers the scenario into one seed's concrete inputs: the graph, the fault
+    /// plan, and the configured builder.
+    fn prepare(&self, seed: u64) -> (usize, DiGraph, FaultPlan, OverlayBuilder) {
         let n = self.actual_n();
         let mut params = ExpanderParams::for_n(n).with_seed(seed);
         self.capacity.apply(&mut params);
@@ -626,9 +640,11 @@ impl Scenario {
         if let Some(transport) = self.transport {
             builder = builder.with_reliable_transport(transport);
         }
-        let report = builder
-            .build_under_faults(&g, &plan)
-            .expect("registry scenarios produce valid inputs");
+        (n, g, plan, builder)
+    }
+
+    /// Flattens a finished pipeline report into the sweep's record row.
+    fn record_from(&self, seed: u64, n: usize, report: &BuildReport) -> RunRecord {
         let (tree_height, tree_degree) = report
             .result
             .as_ref()
@@ -656,6 +672,32 @@ impl Scenario {
             crashed: report.crashed,
             joined: report.joined,
             stalled_phase: report.stalled_phase().unwrap_or(""),
+        }
+    }
+
+    /// Runs the scenario once under `seed`, deterministically.
+    pub fn run(&self, seed: u64) -> RunRecord {
+        let (n, g, plan, builder) = self.prepare(seed);
+        let report = builder
+            .build_under_faults(&g, &plan)
+            .expect("registry scenarios produce valid inputs");
+        self.record_from(seed, n, &report)
+    }
+
+    /// Runs the scenario once under `seed` with full observability: the same
+    /// deterministic run as [`Scenario::run`] (the record is identical), plus the
+    /// complete [`BuildReport`] and the structured event trace for forensics.
+    pub fn run_traced(&self, seed: u64) -> ForensicRun {
+        let (n, g, plan, builder) = self.prepare(seed);
+        let buf = TraceBuffer::shared();
+        let report = builder
+            .build_under_faults_traced(&g, &plan, buf.clone())
+            .expect("registry scenarios produce valid inputs");
+        let events = std::mem::take(&mut buf.borrow_mut().events);
+        ForensicRun {
+            record: self.record_from(seed, n, &report),
+            report,
+            events,
         }
     }
 
@@ -921,5 +963,23 @@ mod tests {
         assert_eq!(plan.loss_from, crash_round, "loss starts with the wave");
         assert_eq!(plan.drop_prob, 0.02);
         assert!(plan.crashes.iter().all(|c| c.round == crash_round));
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_runs_exactly() {
+        // Tracing must not perturb the run: the forensic record is the record.
+        let scenario = Scenario::new("trace-x", "x", GraphFamily::Cycle, 48)
+            .with_faults(FaultSpec::CrashWave {
+                fraction: 0.15,
+                at: 0.4,
+            })
+            .with_budget(RoundBudget::percent(150));
+        for seed in [0u64, 1, 2] {
+            let plain = scenario.run(seed);
+            let forensic = scenario.run_traced(seed);
+            assert_eq!(plain, forensic.record, "seed {seed}");
+            assert!(!forensic.events.is_empty());
+            assert!(!forensic.report.phase_metrics.is_empty());
+        }
     }
 }

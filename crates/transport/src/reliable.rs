@@ -319,6 +319,7 @@ impl<P: Protocol> Reliable<P> {
                     entry.closed = true;
                     peer.in_flight -= 1;
                     self.stats.abandoned += 1;
+                    ctx.note_give_up();
                     continue;
                 }
                 entry.last_sent = Some(round);
@@ -627,6 +628,8 @@ mod tests {
         assert_eq!(sender.stats().abandoned, 1);
         assert_eq!(sender.stats().retransmits, 3);
         assert!(!sender.has_outstanding());
+        // The abandonment is also visible in the simulator's round metrics.
+        assert_eq!(sim.metrics().total_give_ups(), 1);
     }
 
     #[test]
