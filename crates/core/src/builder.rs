@@ -32,7 +32,7 @@ use crate::{benign, ExpanderParams, OverlayError, RoundBudget};
 use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
 use overlay_netsim::faults::{CrashEvent, FaultPlan, Partition};
 use overlay_netsim::trace::SharedTraceSink;
-use overlay_netsim::{RunMetrics, TransportConfig};
+use overlay_netsim::{MetricsMode, ParallelismConfig, RunMetrics, TransportConfig};
 use std::collections::BTreeMap;
 
 /// Round counts of the three phases of the pipeline.
@@ -239,6 +239,8 @@ pub struct OverlayBuilder {
     round_budget: RoundBudget,
     transport: Option<TransportConfig>,
     phases: PhaseOverrides,
+    parallelism: ParallelismConfig,
+    metrics_mode: MetricsMode,
 }
 
 impl OverlayBuilder {
@@ -249,7 +251,37 @@ impl OverlayBuilder {
             round_budget: RoundBudget::STANDARD,
             transport: None,
             phases: PhaseOverrides::none(),
+            parallelism: ParallelismConfig::default(),
+            metrics_mode: MetricsMode::Full,
         }
+    }
+
+    /// Returns the builder with the given within-round parallelism policy for
+    /// every phase's simulator. Parallelism never changes what is built — runs
+    /// are bitwise identical at any worker count — only how many threads step
+    /// nodes within a round (see [`ParallelismConfig`]).
+    pub fn with_parallelism(mut self, parallelism: ParallelismConfig) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The builder's within-round parallelism policy.
+    pub fn parallelism(&self) -> ParallelismConfig {
+        self.parallelism
+    }
+
+    /// Returns the builder with the given metrics-retention mode for every
+    /// phase's simulator. [`MetricsMode::Rollup`] bounds memory on long,
+    /// large-`n` runs; every total and peak the pipeline reports is
+    /// mode-independent.
+    pub fn with_metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
+        self
+    }
+
+    /// The builder's metrics-retention mode.
+    pub fn metrics_mode(&self) -> MetricsMode {
+        self.metrics_mode
     }
 
     /// Returns the builder with every phase's protocol running behind the
@@ -425,6 +457,8 @@ impl OverlayBuilder {
 
         let mut runner =
             PhaseRunner::new(n, &params, self.round_budget, self.transport, self.phases);
+        runner.set_parallelism(self.parallelism);
+        runner.set_metrics_mode(self.metrics_mode);
         if let Some(sink) = sink {
             runner.set_trace_sink(sink);
         }

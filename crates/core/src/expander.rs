@@ -324,8 +324,7 @@ mod tests {
                 per_round: params.ncc0_cap,
             },
             seed: params.seed,
-            local_edges: None,
-            faults: Default::default(),
+            ..SimConfig::default()
         };
         let mut sim = Simulator::new(nodes, config);
         let outcome = sim.run(ExpanderNode::total_rounds(&params) + 2);
@@ -432,8 +431,7 @@ mod tests {
                 per_round: params.ncc0_cap,
             },
             seed: 5,
-            local_edges: None,
-            faults: Default::default(),
+            ..SimConfig::default()
         };
         let mut sim = Simulator::new(nodes, config);
         sim.run(ExpanderNode::total_rounds(&params) + 2);

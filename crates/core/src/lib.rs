@@ -54,7 +54,7 @@ pub use builder::{
 pub use error::OverlayError;
 pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};
-pub use overlay_netsim::TransportConfig;
+pub use overlay_netsim::{MetricsMode, ParallelismConfig, TransportConfig};
 pub use params::{ExpanderParams, RoundBudget};
 pub use pipeline::{Phase, PhaseId, PhaseMetrics, PhaseOverrides, PhaseRunner, TransportChoice};
 pub use wellformed::WellFormedTree;

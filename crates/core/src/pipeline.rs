@@ -26,7 +26,9 @@ use crate::{ExpanderParams, RoundBudget};
 use overlay_graph::{DiGraph, NodeId, UGraph};
 use overlay_netsim::faults::FaultPlan;
 use overlay_netsim::trace::{SharedTraceSink, TraceEvent};
-use overlay_netsim::{Protocol, RunMetrics, SimConfig, Simulator, TransportConfig};
+use overlay_netsim::{
+    MetricsMode, ParallelismConfig, Protocol, RunMetrics, SimConfig, Simulator, TransportConfig,
+};
 use overlay_transport::Reliable;
 use std::time::{Duration, Instant};
 
@@ -402,6 +404,12 @@ pub struct PhaseRunner {
     /// Trace sink handed to every phase's simulator (plus the runner's own
     /// `PhaseStart` / `PhaseEnd` markers); `None` keeps runs completely untraced.
     sink: Option<SharedTraceSink>,
+    /// Within-round parallelism policy handed to every phase's simulator
+    /// (bitwise identical at any worker count, so purely a wall-clock knob).
+    parallelism: ParallelismConfig,
+    /// Metrics-retention mode handed to every phase's simulator; rollup mode
+    /// bounds memory on long-horizon, large-`n` runs.
+    metrics_mode: MetricsMode,
 }
 
 impl PhaseRunner {
@@ -435,6 +443,8 @@ impl PhaseRunner {
             },
             total_sent_per_node: vec![0; n],
             sink: None,
+            parallelism: ParallelismConfig::default(),
+            metrics_mode: MetricsMode::Full,
         }
     }
 
@@ -443,6 +453,18 @@ impl PhaseRunner {
     /// simulator's events in between. Tracing never changes the run itself.
     pub fn set_trace_sink(&mut self, sink: SharedTraceSink) {
         self.sink = Some(sink);
+    }
+
+    /// Sets the within-round parallelism policy for every subsequent phase.
+    /// Never changes results — only how many threads step nodes.
+    pub fn set_parallelism(&mut self, parallelism: ParallelismConfig) {
+        self.parallelism = parallelism;
+    }
+
+    /// Sets the metrics-retention mode for every subsequent phase (rollup mode
+    /// bounds per-run memory; all totals and peaks are mode-independent).
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.metrics_mode = mode;
     }
 
     /// The round budget `id` will run under: its override, or the builder-wide
@@ -486,7 +508,9 @@ impl PhaseRunner {
             self.ncc0_cap,
             self.seed.wrapping_add(id.index() as u64),
             faults,
-        );
+        )
+        .with_parallelism(self.parallelism)
+        .with_metrics_mode(self.metrics_mode);
         if let Some(sink) = &self.sink {
             sink.borrow_mut()
                 .record(TraceEvent::PhaseStart { phase: id.name() });
@@ -585,7 +609,7 @@ impl PhaseRunner {
     fn absorb(&mut self, metrics: &RunMetrics) {
         self.report.messages.absorb(metrics);
         let inherited = if self.core.is_some() {
-            metrics.per_round.first().map_or(0, |r| r.crashed)
+            metrics.first_round_crashed()
         } else {
             0
         };

@@ -74,8 +74,8 @@ pub mod transport;
 
 pub use caps::CapacityModel;
 pub use faults::{CrashEvent, DelayModel, FaultPlan, FaultRouter, JoinEvent, Partition};
-pub use metrics::{RoundMetrics, RunMetrics, TransportCounters};
+pub use metrics::{MetricsMode, RoundMetrics, RunMetrics, TransportCounters};
 pub use protocol::{Channel, Ctx, Envelope, Protocol};
-pub use runtime::{RunOutcome, SimConfig, Simulator};
+pub use runtime::{ParallelismConfig, RunOutcome, SimConfig, Simulator};
 pub use trace::{DropCause, SharedTraceSink, TraceBuffer, TraceEvent, TraceSink};
 pub use transport::TransportConfig;

@@ -33,10 +33,17 @@ pub struct Envelope<M> {
 /// Implementations must only communicate through the [`Ctx`] passed to the callbacks;
 /// they must not share state between nodes (the simulator owns each node's state
 /// exclusively, so the compiler enforces this).
-pub trait Protocol {
+///
+/// `Send` is a supertrait (and `Send + Sync` is required of the message type) so
+/// the simulator may step disjoint groups of nodes on different worker threads
+/// within a round (see [`crate::runtime::ParallelismConfig`]). Protocol state is
+/// plain owned data — per-node RNGs, identifiers, buffers — so this costs
+/// implementations nothing; it only rules out sharing thread-bound handles
+/// (`Rc`, `RefCell`) inside node state, which the model forbids anyway.
+pub trait Protocol: Send {
     /// The message type exchanged by this protocol. Each message must fit in
     /// `O(log n)` bits, i.e. carry at most a constant number of identifiers.
-    type Message: Clone + std::fmt::Debug;
+    type Message: Clone + std::fmt::Debug + Send + Sync;
 
     /// Called once before the first round; typically used to send initial messages.
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Message>);

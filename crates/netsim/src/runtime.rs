@@ -2,13 +2,79 @@
 
 use crate::caps::CapacityModel;
 use crate::faults::{DropReason, FaultPlan, FaultRouter, Route};
-use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::metrics::{MetricsMode, RoundMetrics, RunMetrics, TransportCounters};
 use crate::protocol::{Channel, Ctx, Envelope, Protocol};
 use crate::trace::{DropCause, SharedTraceSink, TraceEvent};
 use overlay_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+
+/// Within-round parallelism policy for the simulator.
+///
+/// When engaged, the simulator steps disjoint groups of nodes on rayon worker
+/// threads inside each round: every node writes into its own outbox shard and
+/// reports its own transport counters, and the shards are merged back in
+/// node-id order before the (serial) dispatch and fault phases run. Each node
+/// already owns its RNG, the fault router's RNG is only drawn during serial
+/// dispatch, and the receive-cap `drop_rng` is only drawn during serial
+/// delivery — so a run is **bitwise identical at every worker count**,
+/// including 1. Parallelism is a wall-clock knob, never a semantics knob.
+///
+/// Spawning workers costs real time per round, so small simulations opt out
+/// via `min_nodes`: below the threshold the simulator keeps the classic
+/// serial loop (which shares one outbox buffer and allocates nothing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Worker threads to step nodes with; `None` asks rayon
+    /// ([`rayon::current_num_threads`], which honors `RAYON_NUM_THREADS`).
+    pub workers: Option<usize>,
+    /// Minimum node count before within-round parallelism engages; below it the
+    /// serial loop runs regardless of `workers`.
+    pub min_nodes: usize,
+}
+
+impl ParallelismConfig {
+    /// The threshold below which parallelizing a round costs more than it saves
+    /// (thread spawns are microseconds; small rounds are too).
+    pub const DEFAULT_MIN_NODES: usize = 4096;
+
+    /// Always step nodes serially (the historical behavior).
+    pub fn serial() -> Self {
+        ParallelismConfig {
+            workers: Some(1),
+            min_nodes: 0,
+        }
+    }
+
+    /// Step nodes on exactly `workers` threads whenever `n >= min_nodes`.
+    pub fn fixed(workers: usize, min_nodes: usize) -> Self {
+        ParallelismConfig {
+            workers: Some(workers),
+            min_nodes,
+        }
+    }
+
+    /// The worker count to use for a round over `n` nodes (`1` = serial path).
+    pub fn effective_workers(&self, n: usize) -> usize {
+        if n < self.min_nodes {
+            return 1;
+        }
+        self.workers
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
+    }
+}
+
+impl Default for ParallelismConfig {
+    /// Rayon's worker count, engaged from
+    /// [`ParallelismConfig::DEFAULT_MIN_NODES`] nodes up.
+    fn default() -> Self {
+        ParallelismConfig {
+            workers: None,
+            min_nodes: Self::DEFAULT_MIN_NODES,
+        }
+    }
+}
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -23,6 +89,10 @@ pub struct SimConfig {
     pub local_edges: Option<Vec<Vec<NodeId>>>,
     /// The environmental faults to inject (clean by default).
     pub faults: FaultPlan,
+    /// Within-round parallelism policy (bitwise identical at any worker count).
+    pub parallelism: ParallelismConfig,
+    /// How per-round metrics history is retained (aggregates are mode-independent).
+    pub metrics_mode: MetricsMode,
 }
 
 impl Default for SimConfig {
@@ -32,6 +102,8 @@ impl Default for SimConfig {
             seed: 0xBADC0FFE,
             local_edges: None,
             faults: FaultPlan::default(),
+            parallelism: ParallelismConfig::default(),
+            metrics_mode: MetricsMode::Full,
         }
     }
 }
@@ -55,8 +127,8 @@ impl SimConfig {
         SimConfig {
             caps: CapacityModel::Ncc0 { per_round },
             seed,
-            local_edges: None,
             faults,
+            ..SimConfig::default()
         }
     }
 
@@ -74,6 +146,18 @@ impl SimConfig {
     /// Returns the config with the given fault plan installed.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns the config with the given within-round parallelism policy.
+    pub fn with_parallelism(mut self, parallelism: ParallelismConfig) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns the config with the given metrics-retention mode.
+    pub fn with_metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
         self
     }
 }
@@ -195,6 +279,62 @@ impl<M> EnvelopeArena<M> {
     }
 }
 
+/// The hybrid model's local adjacency in CSR (structure-of-arrays) form: one
+/// flat sorted neighbor array plus per-node offsets. Membership tests are a
+/// binary search over a contiguous range — no per-node `HashSet`, no pointer
+/// chasing, and the flat layout is shared read-only by all worker threads.
+#[derive(Debug)]
+struct LocalAdjacency {
+    /// `offsets[i]..offsets[i + 1]` is node `i`'s slice of `neighbors`.
+    offsets: Vec<usize>,
+    /// All neighbor lists back to back, each sorted and deduplicated.
+    neighbors: Vec<NodeId>,
+}
+
+impl LocalAdjacency {
+    fn new(edges: Vec<Vec<NodeId>>) -> Self {
+        let mut offsets = Vec::with_capacity(edges.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for mut adj in edges {
+            adj.sort_unstable();
+            adj.dedup();
+            neighbors.extend_from_slice(&adj);
+            offsets.push(neighbors.len());
+        }
+        LocalAdjacency { offsets, neighbors }
+    }
+
+    /// `true` if `(node, to)` is a declared local edge.
+    fn contains(&self, node: usize, to: NodeId) -> bool {
+        self.neighbors[self.offsets[node]..self.offsets[node + 1]]
+            .binary_search(&to)
+            .is_ok()
+    }
+}
+
+/// One node's private slice of a parallel round: the messages it queued and the
+/// transport counters it reported. Workers fill shards concurrently; the
+/// simulator merges them back in node-id order, which reproduces the serial
+/// loop's outbox layout, metrics arithmetic, and trace-event order exactly.
+#[derive(Debug)]
+struct NodeShard<M> {
+    /// The node's outbox for this round (the parallel stand-in for a base
+    /// offset into the shared buffer). Capacity is retained across rounds.
+    outbox: Vec<(NodeId, Channel, M)>,
+    /// Transport counters reported by the node's callback this round.
+    transport: TransportCounters,
+}
+
+impl<M> Default for NodeShard<M> {
+    fn default() -> Self {
+        NodeShard {
+            outbox: Vec::new(),
+            transport: TransportCounters::default(),
+        }
+    }
+}
+
 /// A deterministic synchronous simulator executing one [`Protocol`] state machine per
 /// node.
 ///
@@ -208,7 +348,20 @@ impl<M> EnvelopeArena<M> {
 /// [`EnvelopeArena`] (inboxes, grouped per recipient by a stable counting sort) and a
 /// single shared outbox `Vec` that every node appends to behind its own base offset.
 /// Both are cleared — not reallocated — each round, so steady-state rounds are
-/// allocation-free regardless of `n` or message volume.
+/// allocation-free regardless of `n` or message volume. The remaining per-node
+/// lookups are flat arrays too: local adjacency is CSR (offsets plus a sorted,
+/// deduplicated neighbor array with binary-search membership),
+/// per-edge CONGEST counters are an epoch-stamped array instead of a `HashMap`,
+/// and done-flags are cached per node so `all_done` never virtual-dispatches.
+///
+/// # Within-round parallelism
+///
+/// With [`SimConfig::parallelism`] engaged, the protocol callbacks of a round
+/// run on rayon worker threads over disjoint chunks of `nodes` / `rngs` /
+/// outbox shards; everything that draws shared randomness (fault routing,
+/// receive-cap eviction) or observes cross-node order (dispatch, tracing,
+/// metrics) stays serial, and shard merging is in node-id order — so results
+/// are bitwise identical to the serial loop at every worker count.
 #[derive(Debug)]
 pub struct Simulator<P: Protocol> {
     nodes: Vec<P>,
@@ -220,14 +373,25 @@ pub struct Simulator<P: Protocol> {
     /// Per-node message count within `outbox` for the current round.
     out_lens: Vec<usize>,
     caps: CapacityModel,
-    local_neighbors: Option<Vec<HashSet<NodeId>>>,
+    local_neighbors: Option<LocalAdjacency>,
     drop_rng: StdRng,
     /// Scratch for `apply_receive_caps`: range-relative indices of global messages.
     cap_scratch: Vec<usize>,
     /// Scratch for `apply_receive_caps`: per-envelope drop marks for one inbox.
     drop_mark: Vec<bool>,
-    /// Scratch for `dispatch`: per-edge CONGEST counters of the current sender.
-    per_edge: HashMap<NodeId, usize>,
+    /// Scratch for `dispatch`: per-recipient CONGEST counters of the current
+    /// sender, epoch-stamped so switching senders is O(1) instead of a clear.
+    per_edge_count: Vec<usize>,
+    /// The epoch (`edge_epoch` value) `per_edge_count[i]` was last written in.
+    per_edge_stamp: Vec<u64>,
+    /// Current sender's epoch for the stamped per-edge counters.
+    edge_epoch: u64,
+    /// Cached `Protocol::is_done` per node, refreshed after each callback, so
+    /// `done_count` scans a flat bool array instead of virtual-dispatching.
+    done_flags: Vec<bool>,
+    /// Per-node outbox shards for parallel rounds (empty until first used).
+    shards: Vec<NodeShard<P::Message>>,
+    parallelism: ParallelismConfig,
     router: FaultRouter<P::Message>,
     metrics: RunMetrics,
     round: usize,
@@ -261,9 +425,8 @@ impl<P: Protocol> Simulator<P> {
                 )
             })
             .collect();
-        let local_neighbors = config
-            .local_edges
-            .map(|edges| edges.into_iter().map(|v| v.into_iter().collect()).collect());
+        let local_neighbors = config.local_edges.map(LocalAdjacency::new);
+        let done_flags = nodes.iter().map(Protocol::is_done).collect();
         Simulator {
             nodes,
             rngs,
@@ -275,9 +438,14 @@ impl<P: Protocol> Simulator<P> {
             drop_rng: StdRng::seed_from_u64(config.seed.wrapping_add(1)),
             cap_scratch: Vec::new(),
             drop_mark: Vec::new(),
-            per_edge: HashMap::new(),
+            per_edge_count: vec![0; n],
+            per_edge_stamp: vec![0; n],
+            edge_epoch: 0,
+            done_flags,
+            shards: Vec::new(),
+            parallelism: config.parallelism,
             router: FaultRouter::new(&config.faults, n, config.seed),
-            metrics: RunMetrics::new(n),
+            metrics: RunMetrics::with_mode(n, config.metrics_mode),
             round: 0,
             started: false,
             sink: None,
@@ -379,11 +547,15 @@ impl<P: Protocol> Simulator<P> {
 
     /// Number of nodes currently accounted as done under [`Simulator::all_done`]'s
     /// rule: crashed, or joined and finished. Dormant joiners count as *not* done.
+    /// Reads the cached done-flags (refreshed after every callback), so the scan
+    /// is over flat arrays only.
     pub fn done_count(&self) -> usize {
-        (0..self.nodes.len())
-            .filter(|&i| {
+        self.done_flags
+            .iter()
+            .enumerate()
+            .filter(|&(i, &done)| {
                 self.router.is_crashed(i, self.round)
-                    || (self.router.join_round(i) <= self.round && self.nodes[i].is_done())
+                    || (self.router.join_round(i) <= self.round && done)
             })
             .count()
     }
@@ -438,7 +610,68 @@ impl<P: Protocol> Simulator<P> {
             round_metrics.delivered += inbox.len();
         }
 
+        self.run_callbacks(round, false, &mut round_metrics);
+        self.dispatch(&mut round_metrics);
+        self.emit_round_end(round, &round_metrics);
+        self.metrics.record_round(round_metrics);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(TraceEvent::RoundStart { round: 0 });
+        }
+        self.emit_lifecycle(0);
+        let mut round_metrics = RoundMetrics::default();
+        self.router.record_lifecycle(0, &mut round_metrics);
+        // Late joiners and nodes crashed from round 0 do not start now; a
+        // joiner's start callback runs at its join round instead.
+        self.run_callbacks(0, true, &mut round_metrics);
+        self.dispatch(&mut round_metrics);
+        self.emit_round_end(0, &round_metrics);
+        self.metrics.record_round(round_metrics);
+    }
+
+    /// Emits one node's per-round transport trace events (`Retransmits`, then
+    /// `GiveUps`; only non-zero counts emit anything).
+    fn emit_transport_events(&self, round: usize, node: usize, t: &TransportCounters) {
+        let Some(sink) = &self.sink else { return };
+        if t.retransmits > 0 {
+            sink.borrow_mut().record(TraceEvent::Retransmits {
+                round,
+                node: NodeId::from(node),
+                count: t.retransmits,
+            });
+        }
+        if t.give_ups > 0 {
+            sink.borrow_mut().record(TraceEvent::GiveUps {
+                round,
+                node: NodeId::from(node),
+                count: t.give_ups,
+            });
+        }
+    }
+
+    /// Runs every active node's callback for `round`, filling `self.outbox` /
+    /// `self.out_lens` and folding transport counters into `round_metrics`.
+    ///
+    /// `start_round` selects the round-0 rule (every active node runs
+    /// `on_start`); otherwise joiners run `on_start` and everyone else
+    /// `on_round`. Depending on [`ParallelismConfig::effective_workers`] this
+    /// is the classic serial loop or the sharded parallel path — the two are
+    /// bitwise equivalent (see [`ParallelismConfig`]).
+    fn run_callbacks(&mut self, round: usize, start_round: bool, round_metrics: &mut RoundMetrics) {
+        let n = self.nodes.len();
         self.outbox.clear();
+        let workers = self.parallelism.effective_workers(n);
+        if workers > 1 && n > 1 {
+            self.run_callbacks_sharded(round, start_round, workers, round_metrics);
+            return;
+        }
         for i in 0..n {
             let base = self.outbox.len();
             if self.router.is_active(i, round) {
@@ -451,7 +684,9 @@ impl<P: Protocol> Simulator<P> {
                     base,
                     transport: Default::default(),
                 };
-                if self.router.joins_at(i, round) {
+                if start_round {
+                    self.nodes[i].on_start(&mut ctx);
+                } else if self.router.joins_at(i, round) {
                     // The node's first round: it runs its start callback with the
                     // initial knowledge its protocol state was built with. Its inbox
                     // is empty: the router drops (and counts) messages that would
@@ -464,85 +699,109 @@ impl<P: Protocol> Simulator<P> {
                 } else {
                     self.nodes[i].on_round(&mut ctx, self.arena.inbox(i));
                 }
-                round_metrics.absorb_transport(&ctx.transport);
-                if let Some(sink) = &self.sink {
-                    if ctx.transport.retransmits > 0 {
-                        sink.borrow_mut().record(TraceEvent::Retransmits {
-                            round,
-                            node: NodeId::from(i),
-                            count: ctx.transport.retransmits,
-                        });
-                    }
-                    if ctx.transport.give_ups > 0 {
-                        sink.borrow_mut().record(TraceEvent::GiveUps {
-                            round,
-                            node: NodeId::from(i),
-                            count: ctx.transport.give_ups,
-                        });
-                    }
-                }
+                let transport = ctx.transport;
+                round_metrics.absorb_transport(&transport);
+                self.done_flags[i] = self.nodes[i].is_done();
+                self.emit_transport_events(round, i, &transport);
             }
             self.out_lens[i] = self.outbox.len() - base;
         }
-        self.dispatch(&mut round_metrics);
-        self.emit_round_end(round, &round_metrics);
-        self.metrics.per_round.push(round_metrics);
-        self.metrics.rounds = self.metrics.per_round.len();
     }
 
-    fn ensure_started(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
+    /// The parallel body of [`Simulator::run_callbacks`]: nodes are split into
+    /// one contiguous chunk per worker; each worker steps its nodes against the
+    /// shared read-only arena/router and writes into per-node [`NodeShard`]s.
+    /// Afterwards the shards are merged serially in node-id order, which
+    /// reproduces the serial loop's outbox layout, transport-counter
+    /// arithmetic, and trace-event order exactly. Nothing in here draws from a
+    /// shared RNG: each node owns its `StdRng`, and the fault/drop RNGs are
+    /// only touched by the serial phases.
+    fn run_callbacks_sharded(
+        &mut self,
+        round: usize,
+        start_round: bool,
+        workers: usize,
+        round_metrics: &mut RoundMetrics,
+    ) {
         let n = self.nodes.len();
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut()
-                .record(TraceEvent::RoundStart { round: 0 });
+        if self.shards.len() < n {
+            self.shards.resize_with(n, NodeShard::default);
         }
-        self.emit_lifecycle(0);
-        let mut round_metrics = RoundMetrics::default();
-        self.router.record_lifecycle(0, &mut round_metrics);
-        self.outbox.clear();
+        let chunk_len = n.div_ceil(workers);
+        {
+            let arena = &self.arena;
+            let router = &self.router;
+            let mut nodes = self.nodes.as_mut_slice();
+            let mut rngs = self.rngs.as_mut_slice();
+            let mut shards = self.shards.as_mut_slice();
+            let mut flags = self.done_flags.as_mut_slice();
+            rayon::scope(|s| {
+                let mut start = 0usize;
+                while !nodes.is_empty() {
+                    let take = chunk_len.min(nodes.len());
+                    let (node_chunk, rest) = nodes.split_at_mut(take);
+                    nodes = rest;
+                    let (rng_chunk, rest) = rngs.split_at_mut(take);
+                    rngs = rest;
+                    let (shard_chunk, rest) = shards.split_at_mut(take);
+                    shards = rest;
+                    let (flag_chunk, rest) = flags.split_at_mut(take);
+                    flags = rest;
+                    let first = start;
+                    start += take;
+                    s.spawn(move |_| {
+                        let per_node = node_chunk
+                            .iter_mut()
+                            .zip(rng_chunk.iter_mut())
+                            .zip(shard_chunk.iter_mut().zip(flag_chunk.iter_mut()));
+                        for (k, ((node, rng), (shard, done))) in per_node.enumerate() {
+                            let i = first + k;
+                            shard.outbox.clear();
+                            shard.transport = TransportCounters::default();
+                            if !router.is_active(i, round) {
+                                continue;
+                            }
+                            let mut ctx = Ctx {
+                                me: NodeId::from(i),
+                                round,
+                                n,
+                                rng,
+                                outbox: &mut shard.outbox,
+                                base: 0,
+                                transport: Default::default(),
+                            };
+                            if start_round {
+                                node.on_start(&mut ctx);
+                            } else if router.joins_at(i, round) {
+                                debug_assert!(
+                                    arena.inbox(i).is_empty(),
+                                    "join-round inboxes are empty"
+                                );
+                                node.on_start(&mut ctx);
+                            } else {
+                                node.on_round(&mut ctx, arena.inbox(i));
+                            }
+                            shard.transport = ctx.transport;
+                            *done = node.is_done();
+                        }
+                    });
+                }
+            });
+        }
+        // Serial merge in node-id order: exactly the order (and therefore the
+        // outbox layout, metrics arithmetic, and trace emission) of the serial
+        // loop. `append` leaves each shard empty with its capacity retained.
         for i in 0..n {
             let base = self.outbox.len();
-            // Late joiners and nodes crashed from round 0 do not start now; a
-            // joiner's start callback runs at its join round instead.
-            if self.router.is_active(i, 0) {
-                let mut ctx = Ctx {
-                    me: NodeId::from(i),
-                    round: 0,
-                    n,
-                    rng: &mut self.rngs[i],
-                    outbox: &mut self.outbox,
-                    base,
-                    transport: Default::default(),
-                };
-                self.nodes[i].on_start(&mut ctx);
-                round_metrics.absorb_transport(&ctx.transport);
-                if let Some(sink) = &self.sink {
-                    if ctx.transport.retransmits > 0 {
-                        sink.borrow_mut().record(TraceEvent::Retransmits {
-                            round: 0,
-                            node: NodeId::from(i),
-                            count: ctx.transport.retransmits,
-                        });
-                    }
-                    if ctx.transport.give_ups > 0 {
-                        sink.borrow_mut().record(TraceEvent::GiveUps {
-                            round: 0,
-                            node: NodeId::from(i),
-                            count: ctx.transport.give_ups,
-                        });
-                    }
-                }
+            let shard = &mut self.shards[i];
+            self.outbox.append(&mut shard.outbox);
+            let transport = shard.transport;
+            if self.router.is_active(i, round) {
+                round_metrics.absorb_transport(&transport);
+                self.emit_transport_events(round, i, &transport);
             }
             self.out_lens[i] = self.outbox.len() - base;
         }
-        self.dispatch(&mut round_metrics);
-        self.emit_round_end(0, &round_metrics);
-        self.metrics.per_round.push(round_metrics);
-        self.metrics.rounds = self.metrics.per_round.len();
     }
 
     /// Applies the per-node receive cap for global messages at delivery time (local
@@ -624,9 +883,10 @@ impl<P: Protocol> Simulator<P> {
             let sender = NodeId::from(i);
             let mut global_sent = 0usize;
             let mut total_sent = 0usize;
-            if !self.per_edge.is_empty() {
-                self.per_edge.clear();
-            }
+            // A fresh epoch invalidates every per-edge counter at once: a stamp
+            // that doesn't match `edge_epoch` reads as zero (the SoA replacement
+            // for clearing a per-sender HashMap each iteration).
+            self.edge_epoch += 1;
             for (to, channel, payload) in messages.by_ref().take(self.out_lens[i]) {
                 if to.index() >= n {
                     round_metrics.dropped_send += 1;
@@ -645,15 +905,19 @@ impl<P: Protocol> Simulator<P> {
                     Channel::Global => !matches!(global_send_cap, Some(cap) if global_sent >= cap),
                     Channel::Local => {
                         let is_edge = match &self.local_neighbors {
-                            Some(adj) => adj[i].contains(&to),
+                            Some(adj) => adj.contains(i, to),
                             // Without a declared local graph, local messages behave
                             // like global ones under the active model's cap.
                             None => true,
                         };
                         let under_edge_cap = match local_edge_cap {
                             Some(cap) => {
-                                let count = self.per_edge.entry(to).or_insert(0);
-                                *count < cap
+                                let count = if self.per_edge_stamp[to.index()] == self.edge_epoch {
+                                    self.per_edge_count[to.index()]
+                                } else {
+                                    0
+                                };
+                                count < cap
                             }
                             None => true,
                         };
@@ -674,7 +938,12 @@ impl<P: Protocol> Simulator<P> {
                     continue;
                 }
                 if channel == Channel::Local {
-                    *self.per_edge.entry(to).or_insert(0) += 1;
+                    if self.per_edge_stamp[to.index()] == self.edge_epoch {
+                        self.per_edge_count[to.index()] += 1;
+                    } else {
+                        self.per_edge_stamp[to.index()] = self.edge_epoch;
+                        self.per_edge_count[to.index()] = 1;
+                    }
                 }
                 if channel == Channel::Global {
                     global_sent += 1;
@@ -789,8 +1058,7 @@ mod tests {
         let config = SimConfig {
             caps: CapacityModel::Ncc0 { per_round: 4 },
             seed: 7,
-            local_edges: None,
-            faults: Default::default(),
+            ..SimConfig::default()
         };
         let mut sim = Simulator::new(flooders(16, 1, 2), config);
         sim.run(10);
@@ -805,8 +1073,7 @@ mod tests {
         let config = SimConfig {
             caps: CapacityModel::Ncc0 { per_round: 3 },
             seed: 7,
-            local_edges: None,
-            faults: Default::default(),
+            ..SimConfig::default()
         };
         // A single node trying to send 10 messages per round to itself.
         let mut sim = Simulator::new(flooders(1, 10, 1), config);
@@ -821,8 +1088,7 @@ mod tests {
             let config = SimConfig {
                 caps: CapacityModel::Ncc0 { per_round: 2 },
                 seed,
-                local_edges: None,
-                faults: Default::default(),
+                ..SimConfig::default()
             };
             let mut sim = Simulator::new(flooders(12, 1, 3), config);
             sim.run(10);
@@ -866,7 +1132,7 @@ mod tests {
             },
             seed: 3,
             local_edges: Some(local),
-            faults: Default::default(),
+            ..SimConfig::default()
         };
         let nodes = vec![
             LocalSpammer {
@@ -1005,8 +1271,8 @@ mod tests {
             let config = SimConfig {
                 caps: CapacityModel::Unbounded,
                 seed,
-                local_edges: None,
                 faults: FaultPlan::default().with_drop_prob(0.4),
+                ..SimConfig::default()
             };
             let mut sim = Simulator::new(flooders(8, 2, 4), config);
             sim.run(10);
@@ -1063,8 +1329,8 @@ mod tests {
         let config = SimConfig {
             caps: CapacityModel::Ncc0 { per_round: 3 },
             seed: 9,
-            local_edges: None,
             faults: FaultPlan::default().with_delays(1.0, 2),
+            ..SimConfig::default()
         };
         let mut sim = Simulator::new(flooders(12, 1, 3), config);
         sim.run(12);
@@ -1087,7 +1353,7 @@ mod tests {
             caps: CapacityModel::Unbounded,
             seed: 0,
             local_edges: Some(vec![vec![]]),
-            faults: Default::default(),
+            ..SimConfig::default()
         };
         let _ = Simulator::new(flooders(3, 1, 1), config);
     }
@@ -1098,11 +1364,11 @@ mod tests {
         SimConfig {
             caps: CapacityModel::Ncc0 { per_round: 3 },
             seed: 11,
-            local_edges: None,
             faults: FaultPlan::default()
                 .with_drop_prob(0.3)
                 .with_crash(NodeId::from(1usize), 2)
                 .with_join(NodeId::from(2usize), 3),
+            ..SimConfig::default()
         }
     }
 
@@ -1138,6 +1404,89 @@ mod tests {
             events
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_path_is_bitwise_identical_to_serial() {
+        let run = |parallelism: ParallelismConfig| {
+            let mut sim = Simulator::new(
+                flooders(8, 2, 5),
+                stormy_config().with_parallelism(parallelism),
+            );
+            let buf = crate::trace::TraceBuffer::shared();
+            sim.set_trace_sink(buf.clone());
+            let outcome = sim.run(12);
+            let events = buf.borrow().events.clone();
+            let received: Vec<usize> = (0..8).map(|i| sim.node(NodeId::from(i)).received).collect();
+            (outcome.rounds, sim.metrics().clone(), events, received)
+        };
+        let serial = run(ParallelismConfig::serial());
+        // Worker counts both below and above the node count, plus one that
+        // leaves a ragged final chunk.
+        for workers in [2, 3, 8, 13] {
+            let parallel = run(ParallelismConfig::fixed(workers, 0));
+            assert_eq!(serial, parallel, "workers={workers} must be bitwise serial");
+        }
+    }
+
+    #[test]
+    fn parallel_path_respects_congest_edges() {
+        let run = |parallelism: ParallelismConfig| {
+            let local = vec![
+                vec![NodeId::from(1usize)],
+                vec![NodeId::from(0usize), NodeId::from(2usize)],
+                vec![NodeId::from(1usize)],
+            ];
+            let config = SimConfig {
+                caps: CapacityModel::Hybrid {
+                    local_per_edge: 1,
+                    global_per_round: 8,
+                },
+                seed: 3,
+                local_edges: Some(local),
+                parallelism,
+                ..SimConfig::default()
+            };
+            let nodes = vec![
+                LocalSpammer {
+                    target: NodeId::from(1usize),
+                    copies: 5,
+                    received: 0,
+                },
+                LocalSpammer {
+                    target: NodeId::from(2usize),
+                    copies: 1,
+                    received: 0,
+                },
+                LocalSpammer {
+                    target: NodeId::from(0usize),
+                    copies: 1,
+                    received: 0,
+                },
+            ];
+            let mut sim = Simulator::new(nodes, config);
+            sim.run(4);
+            let received: Vec<usize> = (0..3).map(|i| sim.node(NodeId::from(i)).received).collect();
+            (sim.metrics().clone(), received)
+        };
+        assert_eq!(
+            run(ParallelismConfig::serial()),
+            run(ParallelismConfig::fixed(2, 0))
+        );
+    }
+
+    #[test]
+    fn parallelism_threshold_keeps_small_runs_serial() {
+        let auto = ParallelismConfig::default();
+        assert_eq!(
+            auto.effective_workers(16),
+            1,
+            "below min_nodes stays serial"
+        );
+        let fixed = ParallelismConfig::fixed(4, 1024);
+        assert_eq!(fixed.effective_workers(1023), 1);
+        assert_eq!(fixed.effective_workers(1024), 4);
+        assert_eq!(ParallelismConfig::serial().effective_workers(1 << 20), 1);
     }
 
     #[test]

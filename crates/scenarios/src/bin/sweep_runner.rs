@@ -9,8 +9,11 @@
 //!   --check         diff each new report against the existing file before
 //!                   overwriting; exit 1 if any deterministic value changed
 //!   --full          additionally run the on-demand larger-n sweeps
-//!                   (n = 1024 / 4096); their reports go to `<dir>/full/` and
-//!                   are never part of the committed `--check` baselines
+//!                   (n = 1024 / 4096 / 16384 / 65536); their reports go to
+//!                   `<dir>/full/` and are never part of the committed
+//!                   `--check` baselines; each is timed against a sequential
+//!                   baseline (identical records asserted, speedup in the
+//!                   `.meta.json` sidecar and the summary line)
 //!   --compare       after the sweeps, print the baseline-vs-twin delta table
 //!                   (success, rounds, delivered, retransmits per registered
 //!                   pair) and persist it to `<dir>/compare.md`
@@ -28,6 +31,21 @@
 //!                   baseline) and exit without running anything
 //!   --tag T         restrict --list and the default sweep selection to
 //!                   scenarios whose effective tags contain T
+//!   --par-threshold N
+//!                   engage within-round parallelism from N nodes up for every
+//!                   selected scenario (default: the scenario's own policy,
+//!                   4096). `--par-threshold 0` forces the parallel path even
+//!                   on the small committed cells — with `--check`, that makes
+//!                   the run a serial-vs-parallel equivalence gate, since the
+//!                   parallel path must reproduce the committed baselines
+//!                   byte-for-byte
+//!   --scaling       run the scaling harness instead of sweeps: every
+//!                   size-axis cell of the full registry (clean and
+//!                   lossy-reliable columns) runs once per size, serially and
+//!                   in parallel, asserted bitwise identical; machine info and
+//!                   per-n wall-clocks land in `<dir>/scaling.md`
+//!   --max-n N       cap the scaling harness at cells with n <= N
+//!                   (default 65536)
 //!   SCENARIO...     registry names to run (default: the whole registry)
 //! ```
 //!
@@ -42,7 +60,8 @@
 //! Traces are likewise derived output under the untracked `<dir>/traces/`.
 
 use overlay_scenarios::{
-    compare, full_registry, post_mortem, registry, report, trace, Scenario, Sweep, SweepReport,
+    compare, full_registry, post_mortem, registry, report, scaling, trace, ParallelismConfig,
+    Scenario, Sweep, SweepReport,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -60,6 +79,9 @@ struct Options {
     explain: bool,
     list: bool,
     tag: Option<String>,
+    par_threshold: Option<usize>,
+    scaling: bool,
+    max_n: usize,
     names: Vec<String>,
 }
 
@@ -77,6 +99,9 @@ fn parse_args() -> Result<Options, String> {
         explain: false,
         list: false,
         tag: None,
+        par_threshold: None,
+        scaling: false,
+        max_n: 65536,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -107,11 +132,25 @@ fn parse_args() -> Result<Options, String> {
             "--explain" => opts.explain = true,
             "--list" => opts.list = true,
             "--tag" => opts.tag = Some(value("--tag")?),
+            "--par-threshold" => {
+                opts.par_threshold = Some(
+                    value("--par-threshold")?
+                        .parse()
+                        .map_err(|e| format!("--par-threshold: {e}"))?,
+                )
+            }
+            "--scaling" => opts.scaling = true,
+            "--max-n" => {
+                opts.max_n = value("--max-n")?
+                    .parse()
+                    .map_err(|e| format!("--max-n: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
                             [--check] [--full] [--compare [--no-run]] \
                             [--trace NAME [--seed S]] [--explain] [--list] [--tag T] \
+                            [--par-threshold N] [--scaling [--max-n N]] \
                             [SCENARIO...]"
                         .into(),
                 )
@@ -199,13 +238,19 @@ fn print_listing(opts: &Options) {
 /// behaviorally identical to the untraced one (the sink never draws RNG), so the
 /// trace explains exactly the run a sweep would have executed.
 fn trace_one(name: &str, opts: &Options) -> ExitCode {
-    let scenario = match registry().find(name).or_else(|| full_registry().find(name)) {
+    let mut scenario = match registry().find(name).or_else(|| full_registry().find(name)) {
         Some(s) => s.clone(),
         None => {
             eprintln!("unknown scenario {name:?}; known: {}", known_names());
             return ExitCode::FAILURE;
         }
     };
+    if let Some(threshold) = opts.par_threshold {
+        scenario = scenario.with_parallelism(ParallelismConfig {
+            workers: None,
+            min_nodes: threshold,
+        });
+    }
     let run = scenario.run_traced(opts.seed);
     let dir = opts.dir.join("traces");
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -261,6 +306,50 @@ fn compare_committed(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--scaling`: the scaling harness. Every size-axis cell of the full registry
+/// up to `--max-n` runs once under `--seed`, serially and with within-round
+/// parallelism engaged (from `--par-threshold` nodes up, default 0 so the
+/// parallel path always runs). The per-cell results and wall-clocks, plus the
+/// machine's facts, are rendered to `<dir>/scaling.md` — committed next to the
+/// sweep baselines so scaling claims are pinned to a recorded measurement.
+fn run_scaling(opts: &Options) -> ExitCode {
+    let machine = scaling::MachineInfo::capture();
+    let cells = scaling::scaling_cells(opts.max_n);
+    if cells.is_empty() {
+        eprintln!("--scaling: no size-axis cell has n <= {}", opts.max_n);
+        return ExitCode::FAILURE;
+    }
+    let min_nodes = opts.par_threshold.unwrap_or(0);
+    let mut measured = Vec::with_capacity(cells.len());
+    for scenario in &cells {
+        let cell = scaling::run_cell(scenario, opts.seed, min_nodes);
+        println!(
+            "{:<36} n={:<6} rounds={:<4} success={} serial={:.2?} parallel={:.2?}{}",
+            cell.name,
+            cell.n,
+            cell.rounds,
+            cell.success,
+            cell.serial_wall,
+            cell.parallel_wall,
+            cell.speedup()
+                .map_or(String::new(), |s| format!(" speedup={s:.2}x")),
+        );
+        measured.push(cell);
+    }
+    let text = scaling::render_markdown(&machine, &measured);
+    let path = opts.dir.join("scaling.md");
+    if let Err(e) = std::fs::create_dir_all(&opts.dir) {
+        eprintln!("cannot create {}: {e}", opts.dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("scaling report written to {}", path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -276,6 +365,9 @@ fn main() -> ExitCode {
     if let Some(name) = &opts.trace {
         return trace_one(name, &opts);
     }
+    if opts.scaling {
+        return run_scaling(&opts);
+    }
     if opts.no_run {
         return compare_committed(&opts);
     }
@@ -289,7 +381,7 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     let mut results: Vec<SweepReport> = Vec::with_capacity(scenarios.len());
-    for scenario in scenarios {
+    for mut scenario in scenarios {
         // Large-n scenarios selected by name go where `--full` puts them: the
         // untracked `full/` subdirectory, outside the `--check` contract.
         let is_full = scenario.name.starts_with("full-");
@@ -298,8 +390,24 @@ fn main() -> ExitCode {
         } else {
             opts.dir.clone()
         };
+        if let Some(threshold) = opts.par_threshold {
+            // Parallelism is bitwise-invisible in results, so overriding it
+            // never perturbs a `--check` comparison — it only decides which
+            // code path produces the (identical) bytes.
+            scenario = scenario.with_parallelism(ParallelismConfig {
+                workers: None,
+                min_nodes: threshold,
+            });
+        }
         let sweep = Sweep::over_seeds(scenario, opts.first_seed, opts.seeds);
-        let result = sweep.run();
+        // Full runs double as the parallelism measurement: the sequential
+        // baseline is timed too, the records are asserted identical, and the
+        // measured speedup lands in the meta sidecar and the summary line.
+        let result = if is_full {
+            sweep.run_compared()
+        } else {
+            sweep.run()
+        };
         println!("{}", result.summary());
         if opts.explain {
             // Failed seeds are cheap to replay one at a time: re-run each under a

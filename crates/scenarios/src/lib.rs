@@ -65,6 +65,7 @@ pub mod forensics;
 pub mod json;
 mod registry;
 pub mod report;
+pub mod scaling;
 mod scenario;
 mod sweep;
 pub mod trace;
@@ -72,7 +73,7 @@ pub mod trace;
 pub use forensics::{post_mortem, MissingCause, MissingNode, PostMortem};
 pub use json::Json;
 pub use overlay_core::{PhaseId, PhaseMetrics, PhaseOverrides, RoundBudget, TransportChoice};
-pub use overlay_netsim::{TraceEvent, TransportConfig};
+pub use overlay_netsim::{MetricsMode, ParallelismConfig, TraceEvent, TransportConfig};
 pub use registry::{find, full_registry, registry, Registry, RegistryError};
 pub use scenario::{
     CapacityProfile, FaultSpec, ForensicRun, GraphFamily, RunRecord, Scenario, VariantAxis,

@@ -573,7 +573,7 @@ pub fn full_registry() -> &'static Registry {
     FULL.get_or_init(|| {
         let base = registry();
         let mut all = Vec::new();
-        for &n in &[1024usize, 4096] {
+        for &n in &[1024usize, 4096, 16384, 65536] {
             for name in ["clean-line", "lossy-ncc0-reliable"] {
                 all.push(base.find(name).expect("baseline registered").at_n(n));
             }

@@ -5,7 +5,9 @@ use overlay_core::{
     RoundBudget, TransportChoice,
 };
 use overlay_graph::{generators, DiGraph, NodeId};
-use overlay_netsim::{FaultPlan, TraceBuffer, TraceEvent, TransportConfig};
+use overlay_netsim::{
+    FaultPlan, MetricsMode, ParallelismConfig, TraceBuffer, TraceEvent, TransportConfig,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -349,6 +351,16 @@ pub struct Scenario {
     pub baseline: Option<String>,
     /// Which axis the derivation moved along (set iff `baseline` is set).
     pub axis: Option<VariantAxis>,
+    /// Within-round parallelism policy for every phase's simulator. **Never part
+    /// of the experiment**: runs are bitwise identical at any worker count, so
+    /// this is not an axis, carries no tag, and is not serialized into reports —
+    /// it only decides how many threads step nodes (see [`ParallelismConfig`]).
+    pub parallelism: ParallelismConfig,
+    /// Metrics-retention mode for every phase's simulator. Large-`n` twins run
+    /// with [`MetricsMode::Rollup`] so long horizons don't buffer a
+    /// [`overlay_netsim::RoundMetrics`] per round; every figure a [`RunRecord`]
+    /// reports is mode-independent, so this too is not an axis.
+    pub metrics_mode: MetricsMode,
 }
 
 /// The outcome of one `(scenario, seed)` run.
@@ -436,12 +448,28 @@ impl Scenario {
             tags: Vec::new(),
             baseline: None,
             axis: None,
+            parallelism: ParallelismConfig::default(),
+            metrics_mode: MetricsMode::Full,
         }
     }
 
     /// Sets the fault load (builder-style).
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the within-round parallelism policy (builder-style). Purely a
+    /// wall-clock knob — see [`Scenario::parallelism`].
+    pub fn with_parallelism(mut self, parallelism: ParallelismConfig) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the metrics-retention mode (builder-style) — see
+    /// [`Scenario::metrics_mode`].
+    pub fn with_metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
         self
     }
 
@@ -516,6 +544,11 @@ impl Scenario {
     /// untracked `full/` subdirectory, outside the `--check` contract), and the
     /// size suffix is derived from the argument, so a third or fourth size can
     /// never be mislabeled. Axis: [`VariantAxis::Size`].
+    ///
+    /// Large-`n` twins switch to [`MetricsMode::Rollup`] so a long horizon keeps
+    /// aggregate totals plus a bounded ring of recent rounds instead of one
+    /// [`overlay_netsim::RoundMetrics`] per round; every reported figure is
+    /// mode-independent.
     pub fn at_n(&self, n: usize) -> Scenario {
         let mut twin = self.clone();
         twin.name = format!("full-{}-{n}", self.name);
@@ -523,6 +556,7 @@ impl Scenario {
         twin.n = n;
         twin.baseline = Some(self.name.clone());
         twin.axis = Some(VariantAxis::Size);
+        twin.metrics_mode = MetricsMode::Rollup { window: 64 };
         twin
     }
 
@@ -636,7 +670,9 @@ impl Scenario {
         let plan = self.faults.lower(n, &params, seed);
         let mut builder = OverlayBuilder::new(params)
             .with_round_budget(self.round_budget)
-            .with_phase_overrides(self.phases);
+            .with_phase_overrides(self.phases)
+            .with_parallelism(self.parallelism)
+            .with_metrics_mode(self.metrics_mode);
         if let Some(transport) = self.transport {
             builder = builder.with_reliable_transport(transport);
         }

@@ -5,6 +5,8 @@ use crate::json::Json;
 use crate::scenario::{RunRecord, Scenario};
 use overlay_core::{PhaseId, PhaseOverrides, TransportChoice};
 use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A scenario × seed-set execution plan.
@@ -34,14 +36,29 @@ impl Sweep {
 
     /// Runs every seed in parallel (rayon) and aggregates. Results are ordered by
     /// seed position, so the report is identical to [`Sweep::run_sequential`]'s.
+    ///
+    /// The report's [`SweepReport::observed_workers`] counts the *distinct
+    /// threads that actually executed seeds* — measured, not configured — so a
+    /// sweep pinned to one core (or shorter than the worker count) reports the
+    /// parallelism it really got.
     pub fn run(&self) -> SweepReport {
         let start = std::time::Instant::now();
+        let seen = Mutex::new(HashSet::new());
         let records: Vec<RunRecord> = self
             .seeds
             .par_iter()
-            .map(|&seed| self.scenario.run(seed))
+            .map(|&seed| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                self.scenario.run(seed)
+            })
             .collect();
-        self.assemble(records, start.elapsed(), rayon::current_num_threads())
+        let observed = seen.into_inner().unwrap().len();
+        self.assemble(
+            records,
+            start.elapsed(),
+            rayon::current_num_threads(),
+            observed,
+        )
     }
 
     /// Runs every seed on the calling thread (the comparison baseline for the
@@ -49,15 +66,47 @@ impl Sweep {
     pub fn run_sequential(&self) -> SweepReport {
         let start = std::time::Instant::now();
         let records: Vec<RunRecord> = self.seeds.iter().map(|&s| self.scenario.run(s)).collect();
-        self.assemble(records, start.elapsed(), 1)
+        self.assemble(records, start.elapsed(), 1, 1)
     }
 
-    fn assemble(&self, records: Vec<RunRecord>, wall: Duration, workers: usize) -> SweepReport {
+    /// Runs the parallel sweep *and* the sequential baseline, records both
+    /// wall-clocks in one report, and asserts the two paths produced identical
+    /// records (the determinism contract, enforced on every compared run).
+    ///
+    /// This doubles the work, so it is opt-in — the sweep runner uses it for
+    /// `--full` runs, where the measured serial-vs-parallel speedup lands in the
+    /// `.meta.json` sidecar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parallel and sequential paths disagree on any record —
+    /// that would mean seed-level determinism is broken.
+    pub fn run_compared(&self) -> SweepReport {
+        let mut report = self.run();
+        let start = std::time::Instant::now();
+        let serial: Vec<RunRecord> = self.seeds.iter().map(|&s| self.scenario.run(s)).collect();
+        assert_eq!(
+            report.records, serial,
+            "parallel and sequential sweeps must produce identical records"
+        );
+        report.serial_wall = Some(start.elapsed());
+        report
+    }
+
+    fn assemble(
+        &self,
+        records: Vec<RunRecord>,
+        wall: Duration,
+        workers: usize,
+        observed_workers: usize,
+    ) -> SweepReport {
         SweepReport {
             scenario: self.scenario.clone(),
             records,
             wall,
             workers,
+            observed_workers,
+            serial_wall: None,
         }
     }
 }
@@ -72,11 +121,29 @@ pub struct SweepReport {
     /// Wall-clock time of the sweep (the only non-deterministic field; excluded from
     /// [`SweepReport::to_json`]'s deterministic section).
     pub wall: Duration,
-    /// Worker threads the sweep ran on.
+    /// Worker threads the sweep was configured with ([`rayon::current_num_threads`]).
     pub workers: usize,
+    /// Distinct threads that actually executed seeds — the parallelism the sweep
+    /// *measured*, which can be less than `workers` on a loaded or small machine
+    /// (and is 1 for [`Sweep::run_sequential`]).
+    pub observed_workers: usize,
+    /// Wall-clock of the sequential baseline, when this report came from
+    /// [`Sweep::run_compared`]; `None` for ordinary runs.
+    pub serial_wall: Option<Duration>,
 }
 
 impl SweepReport {
+    /// Parallel speedup (`serial_wall / wall`) when the sweep ran compared
+    /// ([`Sweep::run_compared`]); `None` otherwise or when the wall-clock was
+    /// too short to measure.
+    pub fn speedup(&self) -> Option<f64> {
+        let serial = self.serial_wall?;
+        if self.wall.is_zero() {
+            return None;
+        }
+        Some(serial.as_secs_f64() / self.wall.as_secs_f64())
+    }
+
     /// Fraction of runs that completed with a tree valid over the final survivors.
     pub fn success_rate(&self) -> f64 {
         if self.records.is_empty() {
@@ -225,10 +292,12 @@ impl SweepReport {
         self.to_json().render_pretty()
     }
 
-    /// A one-line human summary.
+    /// A one-line human summary. Workers are shown as `observed/configured`;
+    /// compared runs ([`Sweep::run_compared`]) append the serial wall-clock and
+    /// the measured speedup.
     pub fn summary(&self) -> String {
-        format!(
-            "{:<44} seeds={:<3} success={:>5.1}% coverage={:>5.1}% rounds={:.0} ({}..{}) wall={:?} workers={}",
+        let mut line = format!(
+            "{:<44} seeds={:<3} success={:>5.1}% coverage={:>5.1}% rounds={:.0} ({}..{}) wall={:?} workers={}/{}",
             self.scenario.label(),
             self.records.len(),
             100.0 * self.success_rate(),
@@ -237,8 +306,16 @@ impl SweepReport {
             self.round_range().0,
             self.round_range().1,
             self.wall,
+            self.observed_workers,
             self.workers,
-        )
+        );
+        if let Some(serial) = self.serial_wall {
+            line.push_str(&format!(" serial={serial:?}"));
+            if let Some(speedup) = self.speedup() {
+                line.push_str(&format!(" speedup={speedup:.2}x"));
+            }
+        }
+        line
     }
 }
 

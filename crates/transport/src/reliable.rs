@@ -504,6 +504,7 @@ mod tests {
             seed,
             local_edges: None,
             faults: FaultPlan::default().with_drop_prob(drop),
+            ..SimConfig::default()
         }
     }
 
@@ -650,6 +651,7 @@ mod tests {
             seed: 21,
             local_edges: None,
             faults: FaultPlan::default().with_partition(vec![NodeId::from(0usize)], 0, 12),
+            ..SimConfig::default()
         };
         let mut sim = Simulator::new(wrap(Beacon::fleet(n, burst, rounds), cfg), config);
         let outcome = sim.run(rounds + 40);

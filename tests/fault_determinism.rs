@@ -119,6 +119,7 @@ fn run_once(
         seed,
         local_edges: None,
         faults: plan.clone(),
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(chatters(n, 3, 8, hot_spot), config);
     sim.run(40);
@@ -196,6 +197,7 @@ proptest! {
             seed,
             local_edges: None,
             faults: FaultPlan::default(),
+            ..SimConfig::default()
         };
         let mut sim = Simulator::new(chatters(n, fan_out, rounds, true), config);
         sim.run(40);

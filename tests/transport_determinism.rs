@@ -100,6 +100,7 @@ fn run_reliable(
         seed,
         local_edges: None,
         faults,
+        ..SimConfig::default()
     };
     let nodes: Vec<_> = Tagger::fleet(n, 2, 4)
         .into_iter()
@@ -179,6 +180,7 @@ proptest! {
             seed,
             local_edges: None,
             faults: FaultPlan::default(),
+            ..SimConfig::default()
         };
         let budget = ExpanderNode::total_rounds(&params) + 4;
 

@@ -1,10 +1,18 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! Implements the small parallel-iterator subset the workspace uses —
-//! `slice.par_iter().map(f).collect::<Vec<_>>()` — on top of `std::thread::scope`.
-//! Work is split into one contiguous chunk per available core; each worker writes its
-//! results into a disjoint region of the output, so ordering matches the input exactly
-//! (as with real rayon's indexed parallel iterators) and no unsafe code is needed.
+//! Implements the small subset the workspace uses on top of `std::thread::scope`:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — work is split into one
+//!   contiguous chunk per worker thread; each worker writes its results into a
+//!   disjoint region of the output, so ordering matches the input exactly (as
+//!   with real rayon's indexed parallel iterators) and no unsafe code is needed.
+//! * [`scope`] / [`Scope::spawn`] — structured task spawning with the same
+//!   signature shape as rayon's, for callers that partition mutable state with
+//!   `split_at_mut` and hand each chunk to its own task.
+//!
+//! Like the real crate, the worker count honors the `RAYON_NUM_THREADS`
+//! environment variable (a positive integer) and otherwise defaults to the
+//! number of available cores.
 //!
 //! Swapping back to the real crate is a one-line change in the workspace manifest.
 
@@ -12,11 +20,50 @@
 
 use std::num::NonZeroUsize;
 
-/// Returns the number of worker threads used for parallel maps.
+/// Returns the number of worker threads used for parallel maps and scopes.
+///
+/// Reads `RAYON_NUM_THREADS` first (any positive integer; mirroring real
+/// rayon's thread-pool sizing), then falls back to
+/// [`std::thread::available_parallelism`].
 pub fn current_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(threads) = value.trim().parse::<usize>() {
+            if threads >= 1 {
+                return threads;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// A structured-concurrency scope: tasks spawned on it are joined before
+/// [`scope`] returns (a thin wrapper over [`std::thread::scope`] exposing the
+/// rayon `Scope` API shape).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; the task is joined
+    /// (and any panic propagated) when the enclosing [`scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a [`Scope`] on which tasks can be spawned; returns once every
+/// spawned task has finished. Panics in tasks propagate to the caller.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
 }
 
 /// A parallel iterator over `&[T]`.
@@ -45,7 +92,7 @@ impl<'a, T: Sync> ParIter<'a, T> {
 }
 
 impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
-    /// Runs the map on all available cores and collects the results in input order.
+    /// Runs the map on all worker threads and collects the results in input order.
     pub fn collect<C: From<Vec<U>>>(self) -> C {
         let n = self.items.len();
         let threads = current_num_threads().min(n.max(1));
@@ -134,5 +181,39 @@ mod tests {
         if super::current_num_threads() > 1 {
             assert!(seen.lock().unwrap().len() > 1);
         }
+    }
+
+    #[test]
+    fn scope_joins_spawned_tasks_and_allows_disjoint_mutation() {
+        let mut data = vec![0usize; 64];
+        let (lo, hi) = data.split_at_mut(32);
+        super::scope(|s| {
+            s.spawn(|_| {
+                for (i, slot) in lo.iter_mut().enumerate() {
+                    *slot = i;
+                }
+            });
+            s.spawn(|_| {
+                for (i, slot) in hi.iter_mut().enumerate() {
+                    *slot = 32 + i;
+                }
+            });
+        });
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_nested_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 }
