@@ -70,10 +70,33 @@ impl EvolutionEngine {
         self.evolutions_done
     }
 
+    /// Executes one evolution without computing any statistics — no
+    /// conductance estimate, no benign re-check. The maintenance loop's fast
+    /// path: the rewiring (and its RNG stream) is exactly that of
+    /// [`EvolutionEngine::evolve`].
+    pub fn evolve_quiet(&mut self) {
+        self.step();
+    }
+
     /// Executes one evolution and returns statistics of the resulting graph.
     ///
     /// Setting `track_min_cut` enables the (cubic-time) exact minimum-cut computation.
     pub fn evolve(&mut self, track_min_cut: bool) -> EvolutionStats {
+        self.step();
+
+        let conductance = cuts::conductance_estimate(&self.graph, self.params.seed ^ 0xC0DE);
+        let min_cut = track_min_cut.then(|| cuts::min_cut(&self.graph));
+        let report = benign::check_benign(&self.graph, &self.params, false);
+        EvolutionStats {
+            evolution: self.evolutions_done - 1,
+            conductance,
+            min_cut,
+            regular_and_lazy: report.regular && report.lazy,
+        }
+    }
+
+    /// The shared evolution step: token walks, acceptance, self-loop padding.
+    fn step(&mut self) {
         let n = self.graph.node_count();
         let delta = self.params.delta;
         let tokens_per_node = self.params.tokens_per_node();
@@ -108,16 +131,6 @@ impl EvolutionEngine {
         }
         self.graph = next;
         self.evolutions_done += 1;
-
-        let conductance = cuts::conductance_estimate(&self.graph, self.params.seed ^ 0xC0DE);
-        let min_cut = track_min_cut.then(|| cuts::min_cut(&self.graph));
-        let report = benign::check_benign(&self.graph, &self.params, false);
-        EvolutionStats {
-            evolution: self.evolutions_done - 1,
-            conductance,
-            min_cut,
-            regular_and_lazy: report.regular && report.lazy,
-        }
     }
 
     /// Executes `count` evolutions, returning the per-evolution statistics.
@@ -202,6 +215,20 @@ mod tests {
             EvolutionEngine::from_initial(&generators::line(64), p),
             Err(OverlayError::InvalidParams(_))
         ));
+    }
+
+    #[test]
+    fn quiet_evolution_matches_the_instrumented_step() {
+        let p = params(64, 13);
+        let g = generators::cycle(64);
+        let mut a = EvolutionEngine::from_initial(&g, p).unwrap();
+        let mut b = EvolutionEngine::from_initial(&g, p).unwrap();
+        for _ in 0..3 {
+            a.evolve(false);
+            b.evolve_quiet();
+        }
+        assert_eq!(a.graph().edges(), b.graph().edges());
+        assert_eq!(a.evolutions_done(), b.evolutions_done());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod builder;
 mod error;
 pub mod evolution;
 pub mod expander;
+pub mod maintenance;
 mod params;
 pub mod pipeline;
 pub mod wellformed;
@@ -54,6 +55,7 @@ pub use builder::{
 pub use error::OverlayError;
 pub use evolution::{EvolutionEngine, EvolutionStats};
 pub use expander::{ExpanderMsg, ExpanderNode};
+pub use maintenance::{EpochSample, MaintenanceConfig, MaintenanceRunner, ServeOutcome};
 pub use overlay_netsim::{MetricsMode, ParallelismConfig, TransportConfig};
 pub use params::{ExpanderParams, RoundBudget};
 pub use pipeline::{Phase, PhaseId, PhaseMetrics, PhaseOverrides, PhaseRunner, TransportChoice};

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod caps;
+pub mod churn;
 pub mod faults;
 pub mod metrics;
 pub mod protocol;
@@ -73,6 +74,7 @@ pub mod trace;
 pub mod transport;
 
 pub use caps::CapacityModel;
+pub use churn::{ChurnSchedule, CrashBurst, RoundChurn};
 pub use faults::{CrashEvent, DelayModel, FaultPlan, FaultRouter, JoinEvent, Partition};
 pub use metrics::{MetricsMode, RoundMetrics, RunMetrics, TransportCounters};
 pub use protocol::{Channel, Ctx, Envelope, Protocol};

@@ -167,6 +167,41 @@ pub enum TraceEvent {
         /// Number of payloads abandoned.
         count: usize,
     },
+    /// A maintenance epoch boundary was processed (emitted by the maintenance
+    /// runner, not the simulator). `round` is the service round the boundary
+    /// fell on, cumulative across the whole serve horizon.
+    Epoch {
+        /// The epoch index (0-based).
+        epoch: usize,
+        /// The service round the boundary fell on.
+        round: usize,
+        /// Alive members of the overlay after this epoch's churn.
+        alive: usize,
+        /// Stragglers still awaiting admission after this boundary.
+        stragglers: usize,
+    },
+    /// A re-invitation was issued to a straggler at an epoch boundary,
+    /// pulling it into the current evolution.
+    ReInvite {
+        /// The epoch the invitation was issued in.
+        epoch: usize,
+        /// The invited straggler (its stable service-wide id).
+        joiner: NodeId,
+        /// The alive member that extended the invitation.
+        contact: NodeId,
+        /// Whether the invitation survived transport loss and was accepted.
+        delivered: bool,
+    },
+    /// A repair evolution ran at an epoch boundary, re-absorbing admitted
+    /// stragglers and healing crash holes.
+    Repair {
+        /// The epoch the repair ran in.
+        epoch: usize,
+        /// Members newly covered by the overlay through this repair.
+        healed: usize,
+        /// Whether the rebuilt tree passed well-formedness validation.
+        tree_valid: bool,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.

@@ -37,6 +37,17 @@ pub struct TransportConfig {
     /// window reopens; this bounds how much transport traffic a lossy round can
     /// add on top of the wrapped protocol's own `O(log n)` per-round budget.
     pub window: usize,
+    /// Per-peer failure detection. When `false` (the default), the
+    /// retransmission budget is spent *per message*: against a crashed peer,
+    /// every queued payload burns its full `max_retransmits` before being
+    /// abandoned. When `true`, the first payload to exhaust its budget marks
+    /// the whole peer as failed: every other pending payload to that peer is
+    /// abandoned on the spot and future sends to it are dropped immediately —
+    /// the dead peer costs one give-up instead of one per message. Detection
+    /// silences the *sender* role only (data from a falsely-suspected peer is
+    /// still received and acknowledged) and is permanent for the run, matching
+    /// the simulator's crash-stop fault model.
+    pub failure_detector: bool,
 }
 
 impl TransportConfig {
@@ -80,6 +91,12 @@ impl TransportConfig {
         self.window = window;
         self
     }
+
+    /// Returns the config with per-peer failure detection switched on or off.
+    pub fn with_failure_detector(mut self, enabled: bool) -> Self {
+        self.failure_detector = enabled;
+        self
+    }
 }
 
 impl Default for TransportConfig {
@@ -88,6 +105,7 @@ impl Default for TransportConfig {
             retransmit_after: 2,
             max_retransmits: 32,
             window: 64,
+            failure_detector: false,
         }
     }
 }
@@ -102,14 +120,17 @@ mod tests {
         assert_eq!(c.retransmit_after, 2);
         assert_eq!(c.max_retransmits, 32);
         assert_eq!(c.window, 64);
+        assert!(!c.failure_detector);
         let c = c
             .with_retransmit_after(4)
             .with_max_retransmits(8)
-            .with_window(16);
+            .with_window(16)
+            .with_failure_detector(true);
         assert_eq!(
             (c.retransmit_after, c.max_retransmits, c.window),
             (4, 8, 16)
         );
+        assert!(c.failure_detector);
     }
 
     #[test]

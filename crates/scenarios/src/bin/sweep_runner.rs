@@ -15,10 +15,17 @@
 //!                   baseline (identical records asserted, speedup in the
 //!                   `.meta.json` sidecar and the summary line)
 //!   --compare       after the sweeps, print the baseline-vs-twin delta table
-//!                   (success, rounds, delivered, retransmits per registered
-//!                   pair) and persist it to `<dir>/compare.md`
+//!                   (success, coverage, rounds, delivered, retransmits per
+//!                   registered pair) and persist it to `<dir>/compare.md`;
+//!                   when `<dir>/thresholds.json` exists, additionally check
+//!                   every committed pair floor (a twin's success or coverage
+//!                   delta shrinking below its committed value exits 1)
 //!   --no-run        with --compare: build the delta table from the *committed*
 //!                   reports under `<dir>` without re-sweeping anything
+//!   --write-thresholds
+//!                   with --compare: instead of checking `<dir>/thresholds.json`,
+//!                   (re)write it from the deltas just computed — the workflow
+//!                   for establishing or deliberately revising the pair floors
 //!   --trace NAME    run scenario NAME once (under --seed) with tracing on,
 //!                   write the JSONL event trace to
 //!                   `<dir>/traces/<NAME>-seed<S>.jsonl`, print its
@@ -74,6 +81,7 @@ struct Options {
     full: bool,
     compare: bool,
     no_run: bool,
+    write_thresholds: bool,
     trace: Option<String>,
     seed: u64,
     explain: bool,
@@ -94,6 +102,7 @@ fn parse_args() -> Result<Options, String> {
         full: false,
         compare: false,
         no_run: false,
+        write_thresholds: false,
         trace: None,
         seed: 0,
         explain: false,
@@ -123,6 +132,7 @@ fn parse_args() -> Result<Options, String> {
             "--full" => opts.full = true,
             "--compare" => opts.compare = true,
             "--no-run" => opts.no_run = true,
+            "--write-thresholds" => opts.write_thresholds = true,
             "--trace" => opts.trace = Some(value("--trace")?),
             "--seed" => {
                 opts.seed = value("--seed")?
@@ -148,7 +158,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
-                            [--check] [--full] [--compare [--no-run]] \
+                            [--check] [--full] [--compare [--no-run] [--write-thresholds]] \
                             [--trace NAME [--seed S]] [--explain] [--list] [--tag T] \
                             [--par-threshold N] [--scaling [--max-n N]] \
                             [SCENARIO...]"
@@ -161,6 +171,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.no_run && !opts.compare {
         return Err("--no-run only makes sense with --compare".into());
+    }
+    if opts.write_thresholds && !opts.compare {
+        return Err("--write-thresholds only makes sense with --compare".into());
     }
     Ok(opts)
 }
@@ -267,6 +280,55 @@ fn trace_one(name: &str, opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The per-pair regression gate shared by both `--compare` paths. With
+/// `--write-thresholds`, (re)writes `<dir>/thresholds.json` from the deltas
+/// just computed; otherwise, when that file exists, checks every committed
+/// floor and returns `false` (exit 1) on any violation. No file, no gate —
+/// the table alone stays informational.
+fn threshold_gate(deltas: &[compare::PairDelta], opts: &Options) -> bool {
+    if opts.write_thresholds {
+        return match compare::write_thresholds(deltas, &opts.dir) {
+            Ok(path) => {
+                eprintln!(
+                    "{} pair floor(s) written to {}",
+                    deltas.len(),
+                    path.display()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("cannot write thresholds: {e}");
+                false
+            }
+        };
+    }
+    let path = opts.dir.join("thresholds.json");
+    if !path.exists() {
+        return true;
+    }
+    let thresholds = match compare::load_thresholds(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    let violations = compare::check_thresholds(deltas, &thresholds);
+    if violations.is_empty() {
+        eprintln!(
+            "{} pair floor(s) hold ({})",
+            thresholds.len(),
+            path.display()
+        );
+        return true;
+    }
+    eprintln!("{} pair floor violation(s):", violations.len());
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    false
+}
+
 /// `--compare --no-run`: rebuild the delta table from the committed reports
 /// under `<dir>` without sweeping anything. Pairs missing either committed
 /// report are skipped (e.g. a twin added but not yet baselined); a present but
@@ -302,6 +364,9 @@ fn compare_committed(opts: &Options) -> ExitCode {
             eprintln!("cannot write delta table: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if !threshold_gate(&deltas, opts) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -493,6 +558,9 @@ fn main() -> ExitCode {
                     eprintln!("cannot write delta table: {e}");
                     return ExitCode::FAILURE;
                 }
+            }
+            if !threshold_gate(&deltas, &opts) {
+                return ExitCode::FAILURE;
             }
         }
     }

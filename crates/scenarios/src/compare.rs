@@ -14,6 +14,7 @@
 //! byte-identical.
 
 use crate::json::Json;
+use crate::report::load_report;
 use crate::sweep::SweepReport;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -29,6 +30,9 @@ pub struct PairDelta {
     pub axis: String,
     /// Success rate, baseline then twin (fractions in `[0, 1]`).
     pub success: (f64, f64),
+    /// Mean coverage, baseline then twin (for serve cells this is the
+    /// *sustained* service coverage — the maintenance subsystem's headline).
+    pub coverage: (f64, f64),
     /// Mean total rounds, baseline then twin.
     pub rounds: (f64, f64),
     /// Mean delivered messages per run, baseline then twin.
@@ -49,6 +53,7 @@ impl PairDelta {
                 .map(|a| a.label().to_string())
                 .unwrap_or_default(),
             success: (base.success_rate(), twin.success_rate()),
+            coverage: (base.mean_coverage(), twin.mean_coverage()),
             rounds: (base.mean_rounds(), twin.mean_rounds()),
             delivered: (base.mean_delivered(), twin.mean_delivered()),
             retransmits: (base.total_retransmits(), twin.total_retransmits()),
@@ -69,7 +74,7 @@ impl PairDelta {
         let scenario = |doc: &Json, side: &str| -> Result<String, String> {
             str_field(doc, "scenario").ok_or_else(|| format!("{side}: missing \"scenario\""))
         };
-        let headline = |doc: &Json| -> Result<(f64, f64, f64, u64), String> {
+        let headline = |doc: &Json| -> Result<(f64, f64, f64, f64, u64), String> {
             let name = scenario(doc, "report")?;
             let get = |key: &str| {
                 num_field(doc, key)
@@ -77,6 +82,7 @@ impl PairDelta {
             };
             Ok((
                 get("success_rate")?,
+                get("mean_coverage")?,
                 get("mean_rounds")?,
                 get("mean_delivered")?,
                 uint_field(doc, "total_retransmits").ok_or_else(|| {
@@ -91,9 +97,10 @@ impl PairDelta {
             twin: scenario(twin, "twin")?,
             axis: axis.to_string(),
             success: (b.0, t.0),
-            rounds: (b.1, t.1),
-            delivered: (b.2, t.2),
-            retransmits: (b.3, t.3),
+            coverage: (b.1, t.1),
+            rounds: (b.2, t.2),
+            delivered: (b.3, t.3),
+            retransmits: (b.4, t.4),
         })
     }
 }
@@ -139,17 +146,19 @@ fn uint_field(doc: &Json, key: &str) -> Option<u64> {
 /// a variant is the number readers reach for first).
 pub fn render_table(deltas: &[PairDelta]) -> String {
     let mut out = String::from(
-        "| baseline | twin | axis | success | mean rounds | mean delivered | retransmits |\n\
-         |---|---|---|---|---|---|---|\n",
+        "| baseline | twin | axis | success | coverage | mean rounds | mean delivered | retransmits |\n\
+         |---|---|---|---|---|---|---|---|\n",
     );
     for d in deltas {
         out.push_str(&format!(
-            "| {} | {} | {} | {:.1}% → {:.1}% | {:.1} → {:.1} ({:+.1}) | {:.0} → {:.0} | {} → {} |\n",
+            "| {} | {} | {} | {:.1}% → {:.1}% | {:.1}% → {:.1}% | {:.1} → {:.1} ({:+.1}) | {:.0} → {:.0} | {} → {} |\n",
             d.baseline,
             d.twin,
             d.axis,
             100.0 * d.success.0,
             100.0 * d.success.1,
+            100.0 * d.coverage.0,
+            100.0 * d.coverage.1,
             d.rounds.0,
             d.rounds.1,
             d.rounds.1 - d.rounds.0,
@@ -186,6 +195,134 @@ pub fn write_compare_table(
     );
     std::fs::write(&path, body)?;
     Ok(path)
+}
+
+/// The committed regression floor of one `(baseline, twin)` pair: the twin's
+/// success and coverage *deltas* (twin minus baseline) must not shrink below
+/// these values. Committed as `reports/thresholds.json` next to the sweep
+/// baselines, so the floors are data under review, not constants in code.
+///
+/// `--check` already pins every report byte-for-byte; the thresholds bite when
+/// baselines are *intentionally* regenerated — a regen that quietly erodes a
+/// headline delta (say, re-invitation's coverage lift) fails the compare gate
+/// until the floors are deliberately revised.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairThreshold {
+    /// The twin whose pair is gated (the baseline comes from the registry).
+    pub twin: String,
+    /// Floor for `success.twin - success.baseline`.
+    pub min_success_delta: f64,
+    /// Floor for `coverage.twin - coverage.baseline`.
+    pub min_coverage_delta: f64,
+}
+
+/// Slack absorbing float formatting, not behavior: deltas are pure functions of
+/// the deterministic report bodies, so any real shrink exceeds this by orders
+/// of magnitude.
+const THRESHOLD_TOLERANCE: f64 = 1e-9;
+
+impl PairThreshold {
+    /// The floor that pins a pair exactly where a measured delta stands.
+    pub fn from_delta(delta: &PairDelta) -> PairThreshold {
+        PairThreshold {
+            twin: delta.twin.clone(),
+            min_success_delta: delta.success.1 - delta.success.0,
+            min_coverage_delta: delta.coverage.1 - delta.coverage.0,
+        }
+    }
+}
+
+/// Loads committed pair thresholds from `path` (written by
+/// [`write_thresholds`]).
+///
+/// # Errors
+///
+/// Returns the filesystem error, or [`io::ErrorKind::InvalidData`] when the
+/// document is not valid JSON or lacks the expected fields.
+pub fn load_thresholds(path: impl AsRef<Path>) -> io::Result<Vec<PairThreshold>> {
+    let doc = load_report(&path)?;
+    let invalid = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {what}", path.as_ref().display()),
+        )
+    };
+    let Some(Json::Arr(pairs)) = field(&doc, "pairs") else {
+        return Err(invalid("missing \"pairs\" array"));
+    };
+    pairs
+        .iter()
+        .map(|entry| {
+            Ok(PairThreshold {
+                twin: str_field(entry, "twin").ok_or_else(|| invalid("pair without \"twin\""))?,
+                min_success_delta: num_field(entry, "min_success_delta")
+                    .ok_or_else(|| invalid("pair without \"min_success_delta\""))?,
+                min_coverage_delta: num_field(entry, "min_coverage_delta")
+                    .ok_or_else(|| invalid("pair without \"min_coverage_delta\""))?,
+            })
+        })
+        .collect()
+}
+
+/// Writes the current deltas as the committed floors to
+/// `<dir>/thresholds.json` (one entry per pair, in table order) and returns the
+/// written path — the `sweep_runner --compare --write-thresholds` workflow for
+/// establishing or deliberately revising the gate.
+///
+/// # Errors
+///
+/// Propagates any filesystem error.
+pub fn write_thresholds(deltas: &[PairDelta], dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("thresholds.json");
+    let pairs: Vec<Json> = deltas
+        .iter()
+        .map(PairThreshold::from_delta)
+        .map(|t| {
+            Json::obj(vec![
+                ("twin", Json::Str(t.twin)),
+                ("min_success_delta", Json::Num(t.min_success_delta)),
+                ("min_coverage_delta", Json::Num(t.min_coverage_delta)),
+            ])
+        })
+        .collect();
+    let mut body = Json::obj(vec![("pairs", Json::Arr(pairs))]).render_pretty();
+    body.push('\n');
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Checks the deltas against the committed floors and returns one line per
+/// violation (empty when the gate passes). A thresholded twin missing from
+/// `deltas` is itself a violation — a silently vanished pair must not read as
+/// a passing gate.
+pub fn check_thresholds(deltas: &[PairDelta], thresholds: &[PairThreshold]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for t in thresholds {
+        let Some(d) = deltas.iter().find(|d| d.twin == t.twin) else {
+            violations.push(format!(
+                "{}: thresholded pair missing from the compared set",
+                t.twin
+            ));
+            continue;
+        };
+        let success_delta = d.success.1 - d.success.0;
+        if success_delta < t.min_success_delta - THRESHOLD_TOLERANCE {
+            violations.push(format!(
+                "{}: success delta {:.4} shrank below committed floor {:.4}",
+                t.twin, success_delta, t.min_success_delta
+            ));
+        }
+        let coverage_delta = d.coverage.1 - d.coverage.0;
+        if coverage_delta < t.min_coverage_delta - THRESHOLD_TOLERANCE {
+            violations.push(format!(
+                "{}: coverage delta {:.4} shrank below committed floor {:.4}",
+                t.twin, coverage_delta, t.min_coverage_delta
+            ));
+        }
+    }
+    violations
 }
 
 #[cfg(test)]

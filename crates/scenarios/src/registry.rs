@@ -9,9 +9,9 @@
 //! [`Scenario::with_phases`]), so adding a matrix cell is one derivation line,
 //! not a copy-pasted struct.
 
-use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario, VariantAxis};
+use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario, ServeSpec, VariantAxis};
 use overlay_core::{PhaseId, PhaseOverrides, RoundBudget, TransportChoice};
-use overlay_netsim::TransportConfig;
+use overlay_netsim::{CrashBurst, TransportConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
@@ -243,6 +243,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
     let same_n = twin.n == base.n;
     let same_capacity = twin.capacity == base.capacity;
     let same_faults = twin.faults == base.faults;
+    let same_serve = twin.serve == base.serve;
     let same_transport = twin.transport == base.transport;
     let same_phases = twin.phases == base.phases;
     let same_percent = twin.round_budget.as_percent() == base.round_budget.as_percent();
@@ -253,6 +254,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_n, "transport twin changed n");
             require(same_capacity, "transport twin changed the capacity profile");
             require(same_faults, "transport twin changed the fault load");
+            require(same_serve, "transport twin changed the serve spec");
             require(same_phases, "transport twin changed the phase overrides");
             require(
                 same_percent,
@@ -268,6 +270,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_family, "size twin changed the graph family");
             require(same_capacity, "size twin changed the capacity profile");
             require(same_faults, "size twin changed the fault load");
+            require(same_serve, "size twin changed the serve spec");
             require(same_transport, "size twin changed the transport");
             require(same_phases, "size twin changed the phase overrides");
             require(same_budget, "size twin changed the round budget");
@@ -277,6 +280,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_family, "capacity twin changed the graph family");
             require(same_n, "capacity twin changed n");
             require(same_faults, "capacity twin changed the fault load");
+            require(same_serve, "capacity twin changed the serve spec");
             require(same_transport, "capacity twin changed the transport");
             require(same_phases, "capacity twin changed the phase overrides");
             require(same_budget, "capacity twin changed the round budget");
@@ -290,6 +294,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_n, "phase twin changed n");
             require(same_capacity, "phase twin changed the capacity profile");
             require(same_faults, "phase twin changed the fault load");
+            require(same_serve, "phase twin changed the serve spec");
             require(
                 same_transport,
                 "phase twin changed the scenario-wide transport",
@@ -303,6 +308,34 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
                 !same_phases,
                 "phase twin does not change the phase overrides",
             );
+        }
+        VariantAxis::Maintenance => {
+            require(same_family, "maintenance twin changed the graph family");
+            require(same_n, "maintenance twin changed n");
+            require(
+                same_capacity,
+                "maintenance twin changed the capacity profile",
+            );
+            require(same_faults, "maintenance twin changed the fault load");
+            require(same_transport, "maintenance twin changed the transport");
+            require(same_phases, "maintenance twin changed the phase overrides");
+            require(same_budget, "maintenance twin changed the round budget");
+            match (base.serve, twin.serve) {
+                (Some(b), Some(t)) => {
+                    require(
+                        !b.reinvite && t.reinvite,
+                        "maintenance twin must switch re-invitation from off to on",
+                    );
+                    require(
+                        ServeSpec {
+                            reinvite: false,
+                            ..t
+                        } == b,
+                        "maintenance twin changed the serve spec beyond re-invitation",
+                    );
+                }
+                _ => require(false, "maintenance twin needs serve specs on both sides"),
+            }
         }
     }
     if problems.is_empty() {
@@ -428,6 +461,52 @@ fn baselines() -> Vec<Scenario> {
         })
         .with_tag("matrix")
         .with_tag("compound"),
+        // ---- The serve-* family: overlay-as-a-service baselines -------
+        // Construction is the prologue; the experiment is the 2000-3000
+        // rounds of continuous maintenance that follow. Sizes are small
+        // (n = 48) because the population *grows* over the horizon.
+        Scenario::new(
+            "serve-churn",
+            "Serve baseline: continuous joins (0.2/round) for 3000 rounds with \
+             re-invitation OFF — arrivals pile up outside the overlay forever \
+             and sustained coverage collapses, the failure mode the join-churn \
+             construction reports first exposed",
+            GraphFamily::Cycle,
+            48,
+        )
+        .with_serve(ServeSpec::joins(120, 25, 0.2)),
+        Scenario::new(
+            "serve-loss",
+            "Serve baseline: 2% message loss — during construction (which it \
+             usually kills bare) and on every service invitation — with \
+             continuous joins (0.1/round) for 2000 rounds; re-invitation is on \
+             but bare, one invitation attempt per straggler per epoch",
+            GraphFamily::Cycle,
+            48,
+        )
+        .with_faults(FaultSpec::Lossy { drop_prob: 0.02 })
+        .with_serve(ServeSpec {
+            reinvite: true,
+            ..ServeSpec::joins(80, 25, 0.1)
+        }),
+        Scenario::new(
+            "serve-crash",
+            "Serve baseline: background crash churn (0.04/round) plus a \
+             correlated 10% crash burst every 500 rounds, replenished by joins \
+             (0.08/round) over 2500 rounds — measures rounds-to-repair after \
+             each burst",
+            GraphFamily::RandomRegular { degree: 4 },
+            48,
+        )
+        .with_serve(ServeSpec {
+            reinvite: true,
+            crash_rate: 0.04,
+            burst: Some(CrashBurst {
+                every_rounds: 500,
+                fraction: 0.10,
+            }),
+            ..ServeSpec::joins(100, 25, 0.08)
+        }),
     ]
 }
 
@@ -555,6 +634,43 @@ pub fn registry() -> &'static Registry {
                 .reliable(TransportConfig::default().with_max_retransmits(4), 12)
                 .with_tag("matrix"),
         );
+        // The per-peer failure detector against the same crash wave that
+        // `crash-ncc0-reliable` fights per-message: the first exhausted
+        // payload silences the whole dead peer, so the ~38k-retransmit burn
+        // documented in that cell's baseline collapses to one give-up per
+        // crashed peer. Named next to its historical sibling.
+        all.push(
+            s("mid-build-crash-wave")
+                .reliable(
+                    TransportConfig::default()
+                        .with_max_retransmits(4)
+                        .with_failure_detector(true),
+                    12,
+                )
+                .renamed("crash-ncc0-detector")
+                .describe(
+                    "Twin of mid-build-crash-wave over the reliable transport \
+                     with the per-peer failure detector on: the first payload \
+                     to exhaust its budget marks the whole peer dead, so a \
+                     crashed peer costs one give-up instead of one per message \
+                     — compare its retransmit total against crash-ncc0-reliable",
+                ),
+        );
+        // ---- Serve twins ----------------------------------------------
+        // The maintenance subsystem's headline pair: the same 3000-round join
+        // storm with re-invitation switched on. Construction-style transport
+        // redelivery cannot rescue stragglers (the join-churn pair proved it:
+        // coverage 15.7% -> 16.2%); a protocol-level re-invitation into the
+        // *current* evolution does.
+        all.push(s("serve-churn").with_reinvitation());
+        // The reliable twin of the lossy serve cell heals construction *and*
+        // retries invitations (invite_retries = max_retransmits), so the pair
+        // reads as bare-vs-reliable for a continuously-serving overlay.
+        all.push(s("serve-loss").reliable(TransportConfig::default(), 12));
+        // The crash-serving twin is a control: a clean network gains nothing
+        // from reliability, so the serve metrics should match the baseline's
+        // while the ack overhead appears in the message columns.
+        all.push(s("serve-crash").reliable(TransportConfig::default(), 12));
         Registry::new(all).expect("built-in scenario matrix is valid")
     })
 }

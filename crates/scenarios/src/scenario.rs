@@ -1,12 +1,13 @@
 //! The declarative scenario type and its lowering into concrete runs.
 
 use overlay_core::{
-    BuildReport, ExpanderNode, ExpanderParams, OverlayBuilder, PhaseId, PhaseOverrides,
-    RoundBudget, TransportChoice,
+    BuildReport, ExpanderNode, ExpanderParams, MaintenanceConfig, MaintenanceRunner,
+    OverlayBuilder, PhaseId, PhaseOverrides, RoundBudget, TransportChoice,
 };
 use overlay_graph::{generators, DiGraph, NodeId};
 use overlay_netsim::{
-    FaultPlan, MetricsMode, ParallelismConfig, TraceBuffer, TraceEvent, TransportConfig,
+    ChurnSchedule, CrashBurst, FaultPlan, MetricsMode, ParallelismConfig, SharedTraceSink,
+    TraceBuffer, TraceEvent, TransportConfig,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -225,6 +226,61 @@ impl FaultSpec {
     }
 }
 
+/// The continuous-maintenance phase of a `serve-*` scenario: after construction
+/// finishes, the overlay is kept alive for `epochs * epoch_rounds` further
+/// rounds under a continuous churn process (see
+/// [`overlay_core::MaintenanceRunner`]). The service-level outcome — sustained
+/// coverage, well-formedness violations, rounds-to-repair — lands in the run's
+/// [`ServeRecord`], and the headline [`RunRecord::coverage`] of a serving
+/// scenario *is* its sustained coverage, so the existing aggregate and compare
+/// machinery reads serve cells without special cases.
+///
+/// Churn rates are absolute expected events per round (the schedule's rate
+/// accumulator makes counts seed-independent); victim and contact choices are
+/// drawn from per-run seeded RNGs, so a serve run stays a pure function of
+/// `(scenario, seed)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeSpec {
+    /// Number of maintenance epochs to serve.
+    pub epochs: usize,
+    /// Rounds per epoch (churn accumulates between boundaries).
+    pub epoch_rounds: usize,
+    /// Whether epoch boundaries re-invite stragglers into the overlay. The
+    /// `false` setting is the baseline that documents the failure mode the
+    /// join-churn reports exposed: without protocol-level re-invitation,
+    /// arrivals pile up outside the overlay forever.
+    pub reinvite: bool,
+    /// Expected arrivals per round.
+    pub join_rate: f64,
+    /// Expected graceful departures per round.
+    pub leave_rate: f64,
+    /// Expected crash-stop failures per round.
+    pub crash_rate: f64,
+    /// Optional periodic correlated crash bursts.
+    pub burst: Option<CrashBurst>,
+}
+
+impl ServeSpec {
+    /// A serve phase with the given horizon and join pressure, no departures,
+    /// no crashes, re-invitation off (the documenting baseline).
+    pub fn joins(epochs: usize, epoch_rounds: usize, join_rate: f64) -> Self {
+        ServeSpec {
+            epochs,
+            epoch_rounds,
+            reinvite: false,
+            join_rate,
+            leave_rate: 0.0,
+            crash_rate: 0.0,
+            burst: None,
+        }
+    }
+
+    /// Total service rounds after construction.
+    pub fn horizon(&self) -> usize {
+        self.epochs * self.epoch_rounds
+    }
+}
+
 /// Rounds of the construction phase (the schedule faults are positioned against).
 fn construction_rounds(params: &ExpanderParams) -> usize {
     ExpanderNode::total_rounds(params)
@@ -285,6 +341,10 @@ pub enum VariantAxis {
     Capacity,
     /// The twin scopes budget/transport overrides to individual phases.
     Phases,
+    /// The twin switches epoch-boundary re-invitation on in the maintenance
+    /// phase of a serving baseline (everything else, including the churn
+    /// process, identical).
+    Maintenance,
 }
 
 impl VariantAxis {
@@ -295,6 +355,7 @@ impl VariantAxis {
             VariantAxis::Size => "size",
             VariantAxis::Capacity => "capacity",
             VariantAxis::Phases => "phases",
+            VariantAxis::Maintenance => "maintenance",
         }
     }
 }
@@ -320,6 +381,13 @@ pub struct Scenario {
     pub capacity: CapacityProfile,
     /// The fault load.
     pub faults: FaultSpec,
+    /// When set, the scenario is a `serve-*` cell: after construction the
+    /// overlay enters the continuous-maintenance loop for
+    /// [`ServeSpec::horizon`] further rounds, and the run's headline coverage
+    /// becomes the *sustained* service coverage. `None` is the classic
+    /// build-once setting; committed pre-serve reports are untouched because
+    /// every serve field is serialized conditionally.
+    pub serve: Option<ServeSpec>,
     /// The per-phase round-budget multiplier the pipeline runs under. Faulty
     /// scenarios whose fault model legitimately stretches wall-rounds (delivery
     /// jitter, late joins) declare extra allowance here instead of being judged
@@ -411,6 +479,88 @@ pub struct RunRecord {
     pub joined: usize,
     /// Name of the first stalled phase, empty when none stalled.
     pub stalled_phase: &'static str,
+    /// The maintenance-phase outcome of a serving scenario (`None` for classic
+    /// build-once cells). Present on every seed of a serve cell — a run whose
+    /// construction failed carries the zeroed record (nothing was served).
+    pub serve: Option<ServeRecord>,
+}
+
+/// The per-seed service-level outcome of a serve scenario's maintenance phase —
+/// a flattening of [`overlay_core::ServeOutcome`] into the sweep row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeRecord {
+    /// Whether the maintenance loop ran at all (construction must produce an
+    /// overlay to serve; a failed build leaves everything below zeroed).
+    pub served: bool,
+    /// Steady-state coverage: mean over the final half of the epoch boundaries.
+    pub sustained_coverage: f64,
+    /// Mean coverage across all epoch boundaries.
+    pub coverage_mean: f64,
+    /// Minimum coverage observed at any boundary.
+    pub coverage_floor: f64,
+    /// Epoch boundaries whose tree failed well-formedness validation.
+    pub wf_violations: usize,
+    /// Re-invitations issued across the run.
+    pub reinvites_sent: usize,
+    /// Re-invitations that survived loss and admitted their straggler.
+    pub reinvites_delivered: usize,
+    /// Repair evolutions executed.
+    pub repairs: usize,
+    /// Members re-attached by repair across the run.
+    pub healed: usize,
+    /// Worst rounds-to-repair after a correlated crash burst (0 without bursts).
+    pub rounds_to_repair_max: usize,
+    /// Arrivals over the service horizon.
+    pub joined: usize,
+    /// Graceful departures over the service horizon.
+    pub left: usize,
+    /// Crash-stop failures over the service horizon.
+    pub crashed: usize,
+    /// Members alive when the horizon ended.
+    pub final_alive: usize,
+}
+
+impl ServeRecord {
+    /// The zeroed record of a serve cell whose construction failed: nothing was
+    /// served, so service coverage is 0 — the honest reading of "the overlay
+    /// was never available".
+    fn unserved() -> Self {
+        ServeRecord {
+            served: false,
+            sustained_coverage: 0.0,
+            coverage_mean: 0.0,
+            coverage_floor: 0.0,
+            wf_violations: 0,
+            reinvites_sent: 0,
+            reinvites_delivered: 0,
+            repairs: 0,
+            healed: 0,
+            rounds_to_repair_max: 0,
+            joined: 0,
+            left: 0,
+            crashed: 0,
+            final_alive: 0,
+        }
+    }
+
+    fn from_outcome(outcome: &overlay_core::ServeOutcome) -> Self {
+        ServeRecord {
+            served: true,
+            sustained_coverage: outcome.sustained_coverage,
+            coverage_mean: outcome.coverage_mean,
+            coverage_floor: outcome.coverage_floor,
+            wf_violations: outcome.wf_violations,
+            reinvites_sent: outcome.reinvites_sent,
+            reinvites_delivered: outcome.reinvites_delivered,
+            repairs: outcome.repairs,
+            healed: outcome.healed,
+            rounds_to_repair_max: outcome.rounds_to_repair_max,
+            joined: outcome.joined,
+            left: outcome.left,
+            crashed: outcome.crashed,
+            final_alive: outcome.final_alive,
+        }
+    }
 }
 
 /// Everything a traced run reveals, produced by [`Scenario::run_traced`]: the
@@ -442,6 +592,7 @@ impl Scenario {
             n,
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
+            serve: None,
             round_budget: RoundBudget::STANDARD,
             transport: None,
             phases: PhaseOverrides::none(),
@@ -456,6 +607,15 @@ impl Scenario {
     /// Sets the fault load (builder-style).
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Declares the scenario a `serve-*` cell: after construction the overlay
+    /// enters the continuous-maintenance loop described by `spec`
+    /// (builder-style). The re-invitation *axis* is
+    /// [`Scenario::with_reinvitation`].
+    pub fn with_serve(mut self, spec: ServeSpec) -> Self {
+        self.serve = Some(spec);
         self
     }
 
@@ -508,11 +668,13 @@ impl Scenario {
         self
     }
 
-    /// Replaces the mechanically derived name. The only sanctioned use is
+    /// Replaces the mechanically derived name. The only sanctioned uses are
     /// preserving a historical name that predates the derivation scheme (e.g.
     /// `crash-ncc0-reliable`, whose mechanical name would be
-    /// `mid-build-crash-wave-reliable`); new matrix cells should keep their
-    /// derived names so the naming scheme stays predictable.
+    /// `mid-build-crash-wave-reliable`) and aligning a new twin with such a
+    /// historical sibling (`crash-ncc0-detector` sits next to
+    /// `crash-ncc0-reliable`); other matrix cells should keep their derived
+    /// names so the naming scheme stays predictable.
     pub fn renamed(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
@@ -610,6 +772,42 @@ impl Scenario {
         twin
     }
 
+    /// Derives the re-invitation twin of a serving baseline: the identical
+    /// service (same horizon, same churn process) with epoch-boundary
+    /// re-invitation switched on — the protocol-level primitive that pulls
+    /// stragglers into the current evolution. The pair is the maintenance
+    /// subsystem's headline comparison: sustained coverage with vs without
+    /// re-invitation under the same continuous join pressure.
+    ///
+    /// Name: `<base>-reinvite`. Axis: [`VariantAxis::Maintenance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the baseline is not a serve scenario, or already
+    /// re-invites (the twin would be bit-for-bit the baseline).
+    pub fn with_reinvitation(&self) -> Scenario {
+        let spec = self
+            .serve
+            .expect("a re-invitation twin needs a serving baseline");
+        assert!(
+            !spec.reinvite,
+            "baseline already re-invites; the twin would duplicate it"
+        );
+        let mut twin = self.clone();
+        twin.name = format!("{}-reinvite", self.name);
+        twin.description = format!(
+            "Twin of {} with epoch-boundary re-invitation switched on",
+            self.name
+        );
+        twin.serve = Some(ServeSpec {
+            reinvite: true,
+            ..spec
+        });
+        twin.baseline = Some(self.name.clone());
+        twin.axis = Some(VariantAxis::Maintenance);
+        twin
+    }
+
     /// `true` when any part of the run uses the reliable transport — the
     /// scenario-wide layer or a phase-scoped [`TransportChoice::Reliable`]
     /// override.
@@ -648,6 +846,9 @@ impl Scenario {
         if self.transport.is_none() && self.uses_reliable_transport() {
             add("phase-reliable".to_string());
         }
+        if self.serve.is_some() {
+            add("serve".to_string());
+        }
         if let Some(axis) = self.axis {
             add(format!("axis:{}", axis.label()));
             add("derived".to_string());
@@ -679,14 +880,77 @@ impl Scenario {
         (n, g, plan, builder)
     }
 
-    /// Flattens a finished pipeline report into the sweep's record row.
-    fn record_from(&self, seed: u64, n: usize, report: &BuildReport) -> RunRecord {
+    /// The per-attempt invitation loss probability of the maintenance phase:
+    /// invitations cross the same network the construction did, so a lossy
+    /// fault load loses invitations at its message-drop rate.
+    fn invite_loss(&self) -> f64 {
+        match self.faults {
+            FaultSpec::Lossy { drop_prob } => drop_prob,
+            FaultSpec::CrashThenLoss { drop_prob, .. } => drop_prob,
+            _ => 0.0,
+        }
+    }
+
+    /// Runs the maintenance phase of a serving scenario against the expander a
+    /// finished construction produced. Returns `None` for non-serve scenarios
+    /// and the zeroed [`ServeRecord::unserved`] when construction failed
+    /// (there is no overlay to serve). The optional trace sink receives the
+    /// epoch/re-invite/repair events.
+    fn serve_record(
+        &self,
+        seed: u64,
+        report: &BuildReport,
+        trace: Option<SharedTraceSink>,
+    ) -> Option<ServeRecord> {
+        let spec = self.serve?;
+        let Some(result) = report.result.as_ref() else {
+            return Some(ServeRecord::unserved());
+        };
+        let mut params = ExpanderParams::for_n(self.actual_n()).with_seed(seed);
+        self.capacity.apply(&mut params);
+        let config = MaintenanceConfig {
+            epoch_rounds: spec.epoch_rounds,
+            epochs: spec.epochs,
+            reinvite: spec.reinvite,
+            repair: true,
+            invite_loss: self.invite_loss(),
+            // The reliable transport retries invitations the way it retries
+            // data; a bare cell gets one attempt per boundary.
+            invite_retries: self.transport.map(|t| t.max_retransmits).unwrap_or(0),
+            seed: seed ^ 0x5E12_EC0D_E5E2_7E5E,
+        };
+        let schedule = ChurnSchedule {
+            seed: seed ^ 0xC0A1_E5CE_D01E_5EED,
+            join_rate: spec.join_rate,
+            leave_rate: spec.leave_rate,
+            crash_rate: spec.crash_rate,
+            burst: spec.burst,
+        };
+        let mut runner = MaintenanceRunner::new(result.expander.clone(), params, config, schedule);
+        if let Some(sink) = trace {
+            runner.set_trace_sink(sink);
+        }
+        Some(ServeRecord::from_outcome(&runner.run()))
+    }
+
+    /// Flattens a finished pipeline report (plus the maintenance phase of a
+    /// serving scenario) into the sweep's record row. For serve cells the
+    /// headline coverage is the *sustained* service coverage, success
+    /// additionally requires a violation-free tree at every epoch boundary,
+    /// and the service horizon counts toward the round total.
+    fn record_from(
+        &self,
+        seed: u64,
+        n: usize,
+        report: &BuildReport,
+        serve: Option<ServeRecord>,
+    ) -> RunRecord {
         let (tree_height, tree_degree) = report
             .result
             .as_ref()
             .map(|r| (r.tree.height(), r.tree.max_degree()))
             .unwrap_or((0, 0));
-        RunRecord {
+        let mut record = RunRecord {
             seed,
             round_budget_percent: self.round_budget.as_percent(),
             round_budget_slack: self.round_budget.slack(),
@@ -708,7 +972,17 @@ impl Scenario {
             crashed: report.crashed,
             joined: report.joined,
             stalled_phase: report.stalled_phase().unwrap_or(""),
+            serve: None,
+        };
+        if let Some(serve) = serve {
+            record.coverage = serve.sustained_coverage;
+            record.success = record.success && serve.wf_violations == 0;
+            if serve.served {
+                record.rounds += self.serve.expect("serve record implies spec").horizon();
+            }
+            record.serve = Some(serve);
         }
+        record
     }
 
     /// Runs the scenario once under `seed`, deterministically.
@@ -717,21 +991,25 @@ impl Scenario {
         let report = builder
             .build_under_faults(&g, &plan)
             .expect("registry scenarios produce valid inputs");
-        self.record_from(seed, n, &report)
+        let serve = self.serve_record(seed, &report, None);
+        self.record_from(seed, n, &report, serve)
     }
 
     /// Runs the scenario once under `seed` with full observability: the same
     /// deterministic run as [`Scenario::run`] (the record is identical), plus the
     /// complete [`BuildReport`] and the structured event trace for forensics.
+    /// For serve scenarios the trace continues through the maintenance phase
+    /// (epoch, re-invitation and repair events follow the construction events).
     pub fn run_traced(&self, seed: u64) -> ForensicRun {
         let (n, g, plan, builder) = self.prepare(seed);
         let buf = TraceBuffer::shared();
         let report = builder
             .build_under_faults_traced(&g, &plan, buf.clone())
             .expect("registry scenarios produce valid inputs");
+        let serve = self.serve_record(seed, &report, Some(buf.clone()));
         let events = std::mem::take(&mut buf.borrow_mut().events);
         ForensicRun {
-            record: self.record_from(seed, n, &report),
+            record: self.record_from(seed, n, &report, serve),
             report,
             events,
         }

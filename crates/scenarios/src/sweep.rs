@@ -195,6 +195,47 @@ impl SweepReport {
         self.records.iter().map(|r| r.dupes_dropped).sum()
     }
 
+    /// Lowest per-boundary coverage floor any seed observed (1.0 when the
+    /// scenario has no maintenance phase; 0.0 when any seed failed to serve).
+    pub fn min_coverage_floor(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.serve.map(|s| s.coverage_floor))
+            .fold(1.0, f64::min)
+    }
+
+    /// Total well-formedness violations across every seed's epoch boundaries.
+    pub fn total_wf_violations(&self) -> u64 {
+        self.serve_sum(|s| s.wf_violations)
+    }
+
+    /// Total re-invitations issued across all runs.
+    pub fn total_reinvites(&self) -> u64 {
+        self.serve_sum(|s| s.reinvites_sent)
+    }
+
+    /// Total re-invitations that admitted their straggler across all runs.
+    pub fn total_reinvites_delivered(&self) -> u64 {
+        self.serve_sum(|s| s.reinvites_delivered)
+    }
+
+    /// Worst rounds-to-repair after a crash burst across all runs.
+    pub fn max_rounds_to_repair(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.serve.map(|s| s.rounds_to_repair_max as u64))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn serve_sum(&self, f: impl Fn(&crate::scenario::ServeRecord) -> usize) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.serve.as_ref().map(&f))
+            .map(|v| v as u64)
+            .sum()
+    }
+
     /// The deterministic aggregate + per-seed report as a JSON value.
     ///
     /// Wall-clock time and worker count are environment facts, not results, and are
@@ -256,6 +297,44 @@ impl SweepReport {
             fields.push((
                 "phase_overrides",
                 phase_overrides_json(&self.scenario.phases),
+            ));
+        }
+        // The maintenance phase of a serve cell: spec echo plus service-level
+        // aggregates. Conditional like tags/phase_overrides, so every classic
+        // build-once report keeps its exact historical header.
+        if let Some(spec) = self.scenario.serve {
+            fields.push((
+                "serve",
+                Json::obj(vec![
+                    ("epochs", Json::Int(spec.epochs as i64)),
+                    ("epoch_rounds", Json::Int(spec.epoch_rounds as i64)),
+                    ("reinvite", Json::Bool(spec.reinvite)),
+                    ("join_rate", Json::Num(spec.join_rate)),
+                    ("leave_rate", Json::Num(spec.leave_rate)),
+                    ("crash_rate", Json::Num(spec.crash_rate)),
+                    (
+                        "burst_every_rounds",
+                        Json::Int(spec.burst.map_or(0, |b| b.every_rounds) as i64),
+                    ),
+                    (
+                        "burst_fraction",
+                        Json::Num(spec.burst.map_or(0.0, |b| b.fraction)),
+                    ),
+                    ("min_coverage_floor", Json::Num(self.min_coverage_floor())),
+                    (
+                        "total_wf_violations",
+                        Json::Int(self.total_wf_violations() as i64),
+                    ),
+                    ("total_reinvites", Json::Int(self.total_reinvites() as i64)),
+                    (
+                        "total_reinvites_delivered",
+                        Json::Int(self.total_reinvites_delivered() as i64),
+                    ),
+                    (
+                        "max_rounds_to_repair",
+                        Json::Int(self.max_rounds_to_repair() as i64),
+                    ),
+                ]),
             ));
         }
         fields.extend(vec![
@@ -347,7 +426,7 @@ fn phase_overrides_json(overrides: &PhaseOverrides) -> Json {
 }
 
 fn record_json(r: &RunRecord) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         // Seeds span the full u64 range (`Sweep::over_seeds` wraps deliberately),
         // so they must not be squeezed through i64.
         ("seed", Json::UInt(r.seed)),
@@ -374,7 +453,37 @@ fn record_json(r: &RunRecord) -> Json {
         ("crashed", Json::Int(r.crashed as i64)),
         ("joined", Json::Int(r.joined as i64)),
         ("stalled_phase", Json::Str(r.stalled_phase.to_string())),
-    ])
+    ];
+    // Serve cells carry their maintenance-phase outcome; classic rows keep the
+    // exact historical shape.
+    if let Some(s) = &r.serve {
+        fields.push((
+            "serve",
+            Json::obj(vec![
+                ("served", Json::Bool(s.served)),
+                ("sustained_coverage", Json::Num(s.sustained_coverage)),
+                ("coverage_mean", Json::Num(s.coverage_mean)),
+                ("coverage_floor", Json::Num(s.coverage_floor)),
+                ("wf_violations", Json::Int(s.wf_violations as i64)),
+                ("reinvites_sent", Json::Int(s.reinvites_sent as i64)),
+                (
+                    "reinvites_delivered",
+                    Json::Int(s.reinvites_delivered as i64),
+                ),
+                ("repairs", Json::Int(s.repairs as i64)),
+                ("healed", Json::Int(s.healed as i64)),
+                (
+                    "rounds_to_repair_max",
+                    Json::Int(s.rounds_to_repair_max as i64),
+                ),
+                ("joined", Json::Int(s.joined as i64)),
+                ("left", Json::Int(s.left as i64)),
+                ("crashed", Json::Int(s.crashed as i64)),
+                ("final_alive", Json::Int(s.final_alive as i64)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {

@@ -23,6 +23,9 @@
 //! | `join` | `round`, `node` | late joiner activated |
 //! | `retransmits` | `round`, `node`, `count` | transport re-sends by `node` this round |
 //! | `give-ups` | `round`, `node`, `count` | transport abandonments by `node` this round |
+//! | `epoch` | `epoch`, `round`, `alive`, `stragglers` | maintenance epoch boundary processed |
+//! | `re-invite` | `epoch`, `joiner`, `contact`, `delivered` | re-invitation issued to a straggler |
+//! | `repair` | `epoch`, `healed`, `tree-valid` | repair evolution ran at an epoch boundary |
 //!
 //! `round` numbers restart at 0 inside each `phase-start`/`phase-end` pair
 //! (each phase is its own simulation). `from`/`to`/`node` are node indices
@@ -111,6 +114,40 @@ pub fn event_json(event: &TraceEvent) -> Json {
             ("round", uint(round)),
             ("node", uint(node.index())),
             ("count", uint(count)),
+        ]),
+        TraceEvent::Epoch {
+            epoch,
+            round,
+            alive,
+            stragglers,
+        } => Json::obj(vec![
+            ("event", Json::Str("epoch".into())),
+            ("epoch", uint(epoch)),
+            ("round", uint(round)),
+            ("alive", uint(alive)),
+            ("stragglers", uint(stragglers)),
+        ]),
+        TraceEvent::ReInvite {
+            epoch,
+            joiner,
+            contact,
+            delivered,
+        } => Json::obj(vec![
+            ("event", Json::Str("re-invite".into())),
+            ("epoch", uint(epoch)),
+            ("joiner", uint(joiner.index())),
+            ("contact", uint(contact.index())),
+            ("delivered", Json::Bool(delivered)),
+        ]),
+        TraceEvent::Repair {
+            epoch,
+            healed,
+            tree_valid,
+        } => Json::obj(vec![
+            ("event", Json::Str("repair".into())),
+            ("epoch", uint(epoch)),
+            ("healed", uint(healed)),
+            ("tree-valid", Json::Bool(tree_valid)),
         ]),
     }
 }

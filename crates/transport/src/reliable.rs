@@ -68,6 +68,11 @@ struct PeerState<M> {
     above: BTreeSet<u32>,
     /// An ack to this peer is owed at the end of the current round.
     ack_pending: bool,
+    /// The failure detector's verdict: the peer exhausted a retransmission
+    /// budget and is presumed crashed; our sender role to it is closed for the
+    /// rest of the run. Only ever set when
+    /// [`TransportConfig::failure_detector`] is on.
+    dead: bool,
 }
 
 impl<M> Default for PeerState<M> {
@@ -79,6 +84,7 @@ impl<M> Default for PeerState<M> {
             cum_recv: 0,
             above: BTreeSet::new(),
             ack_pending: false,
+            dead: false,
         }
     }
 }
@@ -171,8 +177,14 @@ pub struct ReliableStats {
     /// Acknowledgment messages sent.
     pub acks_sent: u64,
     /// Payloads abandoned after [`TransportConfig::max_retransmits`] resends
-    /// (the peer is presumed crashed or unreachable forever).
+    /// (the peer is presumed crashed or unreachable forever). With the
+    /// per-peer failure detector on, this also counts payloads abandoned in
+    /// bulk when their peer was declared dead, and payloads dropped at the
+    /// door because the peer already was.
     pub abandoned: u64,
+    /// Peers declared dead by the per-peer failure detector (always `0` when
+    /// [`TransportConfig::failure_detector`] is off).
+    pub peers_failed: u64,
 }
 
 /// Wraps an inner [`Protocol`] with at-least-once delivery and duplicate
@@ -250,6 +262,13 @@ impl<P: Protocol> Reliable<P> {
         let mut out = std::mem::take(&mut self.inner_outbox);
         for (to, channel, payload) in out.drain(..) {
             let peer = self.peers.entry(to).or_default();
+            if peer.dead {
+                // The failure detector already wrote this peer off: the
+                // payload can never be delivered, so it is abandoned at the
+                // door instead of burning a fresh retransmission budget.
+                self.stats.abandoned += 1;
+                continue;
+            }
             let seq = peer.next_seq;
             peer.next_seq += 1;
             peer.outgoing.push_back(OutEntry {
@@ -320,6 +339,24 @@ impl<P: Protocol> Reliable<P> {
                     peer.in_flight -= 1;
                     self.stats.abandoned += 1;
                     ctx.note_give_up();
+                    if self.config.failure_detector {
+                        // Share the verdict across the whole stream: every
+                        // other pending payload to this peer is abandoned now,
+                        // and the single give-up above covers them all — a
+                        // dead peer costs one give-up, not one per message.
+                        peer.dead = true;
+                        self.stats.peers_failed += 1;
+                        for other in peer.outgoing.iter_mut() {
+                            if !other.closed {
+                                other.closed = true;
+                                if other.last_sent.is_some() {
+                                    peer.in_flight -= 1;
+                                }
+                                self.stats.abandoned += 1;
+                            }
+                        }
+                        break;
+                    }
                     continue;
                 }
                 entry.last_sent = Some(round);
@@ -631,6 +668,41 @@ mod tests {
         assert!(!sender.has_outstanding());
         // The abandonment is also visible in the simulator's round metrics.
         assert_eq!(sim.metrics().total_give_ups(), 1);
+    }
+
+    #[test]
+    fn failure_detector_costs_one_give_up_per_dead_peer() {
+        // Node 1 streams to node 0 through total loss. Per-message give-up
+        // burns the full retransmission budget for every payload; the per-peer
+        // detector pays it once, then abandons the rest of the stream (and
+        // every later send) on the spot.
+        let run = |detector: bool| {
+            let cfg = TransportConfig::default()
+                .with_max_retransmits(2)
+                .with_failure_detector(detector);
+            let mut sim = Simulator::new(wrap(Beacon::fleet(2, 2, 10), cfg), lossy(4, 1.0));
+            let outcome = sim.run(200);
+            assert!(outcome.all_done, "abandonment must unblock is_done");
+            let stats = sim.node(NodeId::from(1usize)).stats();
+            (
+                sim.metrics().total_give_ups(),
+                sim.metrics().total_retransmits(),
+                stats,
+            )
+        };
+        let (gu_off, rt_off, s_off) = run(false);
+        let (gu_on, rt_on, s_on) = run(true);
+        // Baseline: one give-up (and a full budget of resends) per payload.
+        assert_eq!(s_off.peers_failed, 0);
+        assert_eq!(gu_off, 20, "2 payloads x 10 rounds, each given up on");
+        // Detector: the dead peer costs exactly one give-up.
+        assert_eq!(gu_on, 1);
+        assert_eq!(s_on.peers_failed, 1);
+        assert_eq!(s_on.abandoned, 20, "every payload is still accounted for");
+        assert!(
+            rt_on < rt_off / 2,
+            "shared detection must slash the dead-peer burn ({rt_on} vs {rt_off})"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! its declared variant axis, every pairing resolves, and every explicit tag
 //! round-trips through the report JSON header.
 
-use overlay_networks::scenarios::{full_registry, registry, Json, Scenario, Sweep, VariantAxis};
+use overlay_networks::scenarios::{
+    full_registry, registry, Json, Scenario, ServeSpec, Sweep, VariantAxis,
+};
 
 fn assert_mirrors_baseline(base: &Scenario, twin: &Scenario) {
     let axis = twin
@@ -35,6 +37,32 @@ fn assert_mirrors_baseline(base: &Scenario, twin: &Scenario) {
         VariantAxis::Capacity => {
             assert_ne!(base.capacity, twin.capacity, "{}", twin.name);
             assert_eq!(base.n, twin.n, "{}", twin.name);
+            assert_eq!(base.transport, twin.transport, "{}", twin.name);
+            assert_eq!(base.round_budget, twin.round_budget, "{}", twin.name);
+        }
+        VariantAxis::Maintenance => {
+            let b = base.serve.unwrap_or_else(|| {
+                panic!("{}: maintenance baseline without serve spec", base.name)
+            });
+            let t = twin
+                .serve
+                .unwrap_or_else(|| panic!("{}: maintenance twin without serve spec", twin.name));
+            assert!(
+                !b.reinvite && t.reinvite,
+                "{}: a maintenance twin switches re-invitation off→on",
+                twin.name
+            );
+            assert_eq!(
+                ServeSpec {
+                    reinvite: false,
+                    ..t
+                },
+                b,
+                "{}: serve specs differ beyond re-invitation",
+                twin.name
+            );
+            assert_eq!(base.n, twin.n, "{}", twin.name);
+            assert_eq!(base.capacity, twin.capacity, "{}", twin.name);
             assert_eq!(base.transport, twin.transport, "{}", twin.name);
             assert_eq!(base.round_budget, twin.round_budget, "{}", twin.name);
         }
