@@ -27,6 +27,7 @@
 use crate::bfs::BfsNode;
 use crate::expander::ExpanderNode;
 use crate::pipeline::{Phase, PhaseId, PhaseOverrides, PhaseRunner, TransportChoice};
+use crate::seam::{PhaseExecSpec, PhaseExecutor};
 use crate::wellformed::{BinarizeNode, WellFormedTree};
 use crate::{benign, ExpanderParams, OverlayError, RoundBudget};
 use overlay_graph::{analysis, DiGraph, NodeId, UGraph};
@@ -435,6 +436,202 @@ impl OverlayBuilder {
         self.build_with(g, faults, Some(sink))
     }
 
+    /// Runs the clean-path pipeline over a pluggable [`PhaseExecutor`] instead
+    /// of calling the simulator directly.
+    ///
+    /// The builder still owns everything *above* the execution medium — input
+    /// validation, phase construction, per-phase seed/budget/transport
+    /// resolution (identical to [`OverlayBuilder::build`]'s), and the typed
+    /// hand-offs between stages — while the executor owns the medium: the
+    /// lockstep simulator ([`crate::seam::SimExecutor`]), threads over
+    /// in-process channels, or TCP sockets across OS processes (the
+    /// `overlay-net` crate). Hand-offs are computed from per-node
+    /// [`crate::seam::Summarize`] digests, which is what lets a multi-process
+    /// executor participate: every process exchanges summaries at phase
+    /// boundaries and re-derives the identical hand-off decisions locally.
+    ///
+    /// This entry point is clean-path only (no [`FaultPlan`]): socket backends
+    /// experience *real* asynchrony and failures rather than injected ones.
+    /// Per seed, an executor that replicates the simulator's delivery order
+    /// and RNG seeding produces the same [`OverlayResult`] as
+    /// [`OverlayBuilder::build`], except that [`OverlayResult::messages`]
+    /// carries only the executor-counted
+    /// [`MessageStats::total_delivered`] (the per-round peaks are simulator
+    /// bookkeeping no socket backend can observe).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`OverlayBuilder::build`] reports, plus
+    /// [`OverlayError::Backend`] when the executor fails below the protocol
+    /// layer (a peer process died, a connection broke, a frame failed to
+    /// decode).
+    pub fn build_over<E: PhaseExecutor>(
+        &self,
+        g: &DiGraph,
+        exec: &mut E,
+    ) -> Result<OverlayResult, OverlayError> {
+        let params = self.params;
+        params.validate().map_err(OverlayError::InvalidParams)?;
+        let n = g.node_count();
+        if n == 0 {
+            return Err(OverlayError::EmptyGraph);
+        }
+        if !analysis::is_connected(&g.to_undirected()) {
+            return Err(OverlayError::Disconnected);
+        }
+        benign::make_benign(g, &params)?;
+
+        // Identical resolution to PhaseRunner::run: per-phase seed offset,
+        // override-or-default budget scaled by the clean schedule, and the
+        // override-or-default transport.
+        let spec = |id: PhaseId, clean_rounds: usize| PhaseExecSpec {
+            seed: params.seed.wrapping_add(id.index() as u64),
+            ncc0_cap: params.ncc0_cap,
+            budget: self
+                .phases
+                .budget(id)
+                .unwrap_or(self.round_budget)
+                .apply(clean_rounds),
+            transport: match self.phases.transport(id) {
+                None => self.transport,
+                Some(TransportChoice::Bare) => None,
+                Some(TransportChoice::Reliable(config)) => Some(config),
+            },
+        };
+        let backend = |e: E::Error| OverlayError::Backend(e.to_string());
+
+        let mut rounds = RoundBreakdown::default();
+        let mut messages = MessageStats::default();
+
+        // Phase 1: CreateExpander over all n nodes.
+        let phase = Phase::create_expander(g, &params, FaultPlan::default());
+        let spec1 = spec(PhaseId::CreateExpander, phase.clean_rounds());
+        let run1 = exec.execute(phase, spec1).map_err(backend)?;
+        rounds.construction = run1.rounds;
+        messages.total_delivered += run1.delivered;
+        if !run1.all_done {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: PhaseId::CreateExpander.name(),
+                budget: spec1.budget,
+            });
+        }
+
+        // Hand-off 1: the survivor-induced final evolution graph, from the
+        // per-node slot summaries (the same computation build_with performs on
+        // full protocol states).
+        let alive1 = run1.alive;
+        let survivors: Vec<usize> = (0..n).filter(|&i| alive1[i]).collect();
+        let slots = SlotEdges::collect_from(
+            run1.summaries
+                .iter()
+                .map(|s| (s.id.index(), s.slots.as_slice())),
+            &alive1,
+        );
+        let full = slots.survivor_graph();
+        let comps = analysis::connected_components(&full.simplify());
+        let mut sizes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &v in &survivors {
+            *sizes.entry(comps.label(NodeId::from(v))).or_insert(0) += 1;
+        }
+        let component_count = sizes.len();
+        let Some((&core_comp, &core_size)) =
+            sizes.iter().max_by_key(|&(&comp, &size)| (size, comp))
+        else {
+            return Err(OverlayError::Fragmented {
+                components: 0,
+                core_size: 0,
+            });
+        };
+        let core_old_ids: Vec<usize> = survivors
+            .into_iter()
+            .filter(|&v| comps.label(NodeId::from(v)) == core_comp)
+            .collect();
+        if core_old_ids.len() != n {
+            // The strict clean-path contract: the tree must contain every node.
+            return Err(OverlayError::Fragmented {
+                components: component_count,
+                core_size,
+            });
+        }
+        let mut old_to_new = vec![None; n];
+        for (new, &old) in core_old_ids.iter().enumerate() {
+            old_to_new[old] = Some(new);
+        }
+        let expander = slots.remapped(&core_old_ids, &old_to_new);
+
+        // Phase 2: BFS on the expander.
+        let phase = Phase::bfs(&expander, &params, FaultPlan::default());
+        let spec2 = spec(PhaseId::Bfs, phase.clean_rounds());
+        let run2 = exec.execute(phase, spec2).map_err(backend)?;
+        rounds.bfs = run2.rounds;
+        messages.total_delivered += run2.delivered;
+        if !run2.all_done {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: PhaseId::Bfs.name(),
+                budget: spec2.budget,
+            });
+        }
+
+        // Hand-off 2: convergence — one shared root, no self-parents.
+        let alive2 = run2.alive;
+        let bfs = run2.summaries;
+        let root = bfs
+            .iter()
+            .enumerate()
+            .find(|(i, _)| alive2[*i])
+            .map(|(_, b)| b.root);
+        let converged = match root {
+            None => false,
+            Some(root) => bfs.iter().enumerate().all(|(i, node)| {
+                !alive2[i] || (node.root == root && (node.id == root || node.parent != node.id))
+            }),
+        };
+        if !converged {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: "bfs-convergence",
+                budget: spec2.budget,
+            });
+        }
+        let bfs_parents: Vec<NodeId> = bfs.iter().map(|b| b.parent).collect();
+
+        // Phase 3: binarization, constructed from the BFS summaries exactly as
+        // Phase::binarize constructs it from the BFS protocol states.
+        let nodes: Vec<BinarizeNode> = bfs
+            .iter()
+            .map(|b| BinarizeNode::new(b.id, b.parent, b.children.clone()))
+            .collect();
+        let phase = Phase::from_parts(
+            PhaseId::Binarize,
+            nodes,
+            BinarizeNode::total_rounds() + 1,
+            FaultPlan::default(),
+        );
+        let spec3 = spec(PhaseId::Binarize, phase.clean_rounds());
+        let run3 = exec.execute(phase, spec3).map_err(backend)?;
+        rounds.finalize = run3.rounds;
+        messages.total_delivered += run3.delivered;
+        if !run3.all_done {
+            return Err(OverlayError::PhaseIncomplete {
+                phase: PhaseId::Binarize.name(),
+                budget: spec3.budget,
+            });
+        }
+
+        // Hand-off 3: the finalize validation judges binarization's success.
+        let alive3 = run3.alive;
+        let parents: Vec<NodeId> = run3.summaries.iter().map(|s| s.new_parent).collect();
+        match WellFormedTree::from_parents_over(parents, &alive3) {
+            Some(tree) if tree.is_valid_over(&alive3) => Ok(OverlayResult {
+                expander,
+                bfs_parents,
+                tree,
+                rounds,
+                messages,
+            }),
+            _ => Err(OverlayError::FinalizeFailed),
+        }
+    }
+
     fn build_with(
         &self,
         g: &DiGraph,
@@ -667,14 +864,24 @@ impl SlotEdges {
     /// protocol state only, never on id order. Clean runs hold every edge
     /// symmetrically, and `max(k, k) == k` reproduces the exact fault-free graph.
     fn collect(nodes: &[ExpanderNode], alive: &[bool]) -> SlotEdges {
+        SlotEdges::collect_from(nodes.iter().map(|n| (n.id().index(), n.slots())), alive)
+    }
+
+    /// [`SlotEdges::collect`] generalized over `(node index, slots)` pairs, so
+    /// the same single pass also serves `build_over`'s hand-off, which sees
+    /// per-node [`crate::seam::ExpanderSummary`] digests instead of protocol
+    /// states.
+    fn collect_from<'a>(
+        nodes: impl Iterator<Item = (usize, &'a [NodeId])>,
+        alive: &[bool],
+    ) -> SlotEdges {
         let mut pairs: EdgeCounts = BTreeMap::new();
-        let mut self_loops = vec![0usize; nodes.len()];
-        for node in nodes {
-            let v = node.id().index();
+        let mut self_loops = vec![0usize; alive.len()];
+        for (v, slots) in nodes {
             if !alive[v] {
                 continue;
             }
-            for &w in node.slots() {
+            for &w in slots {
                 let w = w.index();
                 if w == v {
                     self_loops[v] += 1;
@@ -838,6 +1045,39 @@ mod tests {
             "total per-node messages {} exceed O(log^2 n)",
             result.messages.max_total_per_node
         );
+    }
+
+    #[test]
+    fn build_over_sim_executor_matches_build() {
+        use crate::seam::SimExecutor;
+        for (g, seed) in [
+            (generators::line(48), 3u64),
+            (generators::binary_tree(96), 11),
+        ] {
+            let n = g.node_count();
+            let params = ExpanderParams::for_n(n).with_seed(seed);
+            let builder = OverlayBuilder::new(params);
+            let direct = builder.build(&g).expect("build must succeed");
+            let over = builder
+                .build_over(&g, &mut SimExecutor::default())
+                .expect("build_over must succeed");
+            assert_eq!(over.expander.edge_count(), direct.expander.edge_count());
+            for v in over.expander.nodes() {
+                assert_eq!(over.expander.neighbors(v), direct.expander.neighbors(v));
+            }
+            assert_eq!(over.bfs_parents, direct.bfs_parents);
+            assert_eq!(over.tree.node_count(), direct.tree.node_count());
+            for v in (0..over.tree.node_count()).map(NodeId::from) {
+                assert_eq!(over.tree.parent(v), direct.tree.parent(v));
+            }
+            assert_eq!(over.rounds.construction, direct.rounds.construction);
+            assert_eq!(over.rounds.bfs, direct.rounds.bfs);
+            assert_eq!(over.rounds.finalize, direct.rounds.finalize);
+            assert_eq!(
+                over.messages.total_delivered,
+                direct.messages.total_delivered
+            );
+        }
     }
 
     #[test]

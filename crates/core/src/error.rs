@@ -41,6 +41,10 @@ pub enum OverlayError {
     /// Every phase ran to completion but the binarized parents did not form a
     /// single valid rooted tree over the alive nodes.
     FinalizeFailed,
+    /// A pluggable phase executor (a socket or channel backend from the
+    /// `overlay-net` crate) failed below the protocol layer — a peer process
+    /// died, a connection broke, or a frame failed to decode.
+    Backend(String),
 }
 
 impl fmt::Display for OverlayError {
@@ -69,6 +73,7 @@ impl fmt::Display for OverlayError {
             OverlayError::FinalizeFailed => {
                 write!(f, "binarization did not produce a valid rooted tree")
             }
+            OverlayError::Backend(msg) => write!(f, "transport backend failed: {msg}"),
         }
     }
 }

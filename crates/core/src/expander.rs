@@ -23,6 +23,7 @@
 
 use crate::ExpanderParams;
 use overlay_graph::NodeId;
+use overlay_netsim::wire::{Wire, WireError};
 use overlay_netsim::{Ctx, Envelope, Protocol};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -45,6 +46,32 @@ pub enum ExpanderMsg {
     /// "I accepted your token": establishes the bidirected edge between the token's
     /// origin (the recipient of this message) and the accepting node (the sender).
     Accept,
+}
+
+impl Wire for ExpanderMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ExpanderMsg::Intro => out.push(0),
+            ExpanderMsg::Token { origin, steps_left } => {
+                out.push(1);
+                origin.encode(out);
+                steps_left.encode(out);
+            }
+            ExpanderMsg::Accept => out.push(2),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(ExpanderMsg::Intro),
+            1 => Ok(ExpanderMsg::Token {
+                origin: NodeId::decode(buf)?,
+                steps_left: u32::decode(buf)?,
+            }),
+            2 => Ok(ExpanderMsg::Accept),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// A buffered token: its origin and the hops it still has to take.

@@ -47,6 +47,7 @@ pub mod expander;
 pub mod maintenance;
 mod params;
 pub mod pipeline;
+pub mod seam;
 pub mod wellformed;
 
 pub use builder::{
@@ -59,4 +60,8 @@ pub use maintenance::{EpochSample, MaintenanceConfig, MaintenanceRunner, ServeOu
 pub use overlay_netsim::{MetricsMode, ParallelismConfig, TransportConfig};
 pub use params::{ExpanderParams, RoundBudget};
 pub use pipeline::{Phase, PhaseId, PhaseMetrics, PhaseOverrides, PhaseRunner, TransportChoice};
+pub use seam::{
+    BfsSummary, BinarizeSummary, ExecutedPhase, ExpanderSummary, PhaseExecSpec, PhaseExecutor,
+    SimExecutor, Summarize,
+};
 pub use wellformed::WellFormedTree;

@@ -127,6 +127,13 @@ impl<P> Phase<P> {
     pub fn nodes(&self) -> &[P] {
         &self.nodes
     }
+
+    /// Decomposes the phase into its raw parts (the inverse of
+    /// [`Phase::from_parts`]): id, nodes, clean round count, fault plan.
+    /// External executors (the `overlay-net` crate) consume phases this way.
+    pub fn into_parts(self) -> (PhaseId, Vec<P>, usize, FaultPlan) {
+        (self.id, self.nodes, self.clean_rounds, self.faults)
+    }
 }
 
 impl Phase<ExpanderNode> {
@@ -624,12 +631,12 @@ impl PhaseRunner {
 
 /// One simulated phase's raw outcome, with the protocol states already unwrapped
 /// from the optional transport adapter.
-struct RawRun<P> {
-    nodes: Vec<P>,
-    outcome: overlay_netsim::RunOutcome,
-    metrics: RunMetrics,
-    alive: Vec<bool>,
-    done_count: usize,
+pub(crate) struct RawRun<P> {
+    pub(crate) nodes: Vec<P>,
+    pub(crate) outcome: overlay_netsim::RunOutcome,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) done_count: usize,
 }
 
 /// Runs one phase of the pipeline — behind the reliable transport layer when one
@@ -638,7 +645,7 @@ struct RawRun<P> {
 /// and the phase's wall-rounds) includes the transport's own drain condition:
 /// a node holding unacknowledged data keeps the phase alive so retransmissions
 /// can land.
-fn run_phase<P: Protocol>(
+pub(crate) fn run_phase<P: Protocol>(
     nodes: Vec<P>,
     config: SimConfig,
     budget: usize,

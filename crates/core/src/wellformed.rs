@@ -14,6 +14,7 @@
 //! on top of the list-ranking machinery in the `overlay-hybrid` crate.
 
 use overlay_graph::{NodeId, UGraph};
+use overlay_netsim::wire::{Wire, WireError};
 use overlay_netsim::{Ctx, Envelope, Protocol};
 
 /// A rooted tree over all nodes, produced by the construction pipeline.
@@ -195,6 +196,22 @@ pub struct RelinkMsg {
     pub left: Option<NodeId>,
     /// Its second sibling-child, if any.
     pub right: Option<NodeId>,
+}
+
+impl Wire for RelinkMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.parent.encode(out);
+        self.left.encode(out);
+        self.right.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(RelinkMsg {
+            parent: NodeId::decode(buf)?,
+            left: Option::decode(buf)?,
+            right: Option::decode(buf)?,
+        })
+    }
 }
 
 /// Per-node state of the one-round binarization step.

@@ -1,0 +1,227 @@
+//! The [`Backend`] seam: how frames move and rounds synchronize.
+//!
+//! A backend owns a contiguous slice of the run's `n` nodes and provides three
+//! planes to the [`crate::NetRunner`]:
+//!
+//! * a **data plane** — a clonable [`FrameSender`] every node thread uses to
+//!   emit [`crate::FrameKind::Data`] frames, plus one [`mpsc::Receiver`] per
+//!   owned node that those frames arrive on;
+//! * a **synchronizer plane** — [`Backend::exchange_done`], the α-synchronizer
+//!   barrier: it returns only after every participating process has finished
+//!   the round (so all the round's data frames are enqueued at their
+//!   destinations), and reports whether *all* nodes everywhere are done;
+//! * a **gather plane** — [`Backend::exchange_summaries`], the phase-boundary
+//!   all-gather of per-node digests from which every process derives the next
+//!   phase's hand-off locally and identically.
+//!
+//! [`ChannelBackend`] is the single-process implementation over
+//! [`std::sync::mpsc`]: every node is owned, the synchronizer and gather
+//! planes are trivial, and the safety argument for the barrier is the channel
+//! itself — `mpsc` sends enqueue synchronously, so when a node thread reports
+//! its round complete, everything it sent that round is already in the
+//! destination queues. The TCP implementation lives in [`crate::tcp`].
+
+use crate::frame::Frame;
+use crate::NetError;
+use std::ops::Range;
+use std::sync::mpsc;
+
+/// `(node index, encoded summary)` pairs — the currency of the gather plane.
+pub type SummaryEntries = Vec<(u32, Vec<u8>)>;
+
+/// Clonable handle node threads send data frames through; the backend routes
+/// by [`Frame::to`] (a local queue or a peer process's socket).
+pub trait FrameSender: Clone + Send {
+    /// Routes one frame toward its destination node.
+    fn send(&self, frame: Frame) -> Result<(), NetError>;
+}
+
+/// The per-phase data plane a backend hands the runner.
+pub struct PhasePlane<S> {
+    /// One inbound frame queue per owned node, in owned-range order.
+    pub receivers: Vec<mpsc::Receiver<Frame>>,
+    /// The shared outbound handle (cloned into every node thread).
+    pub sender: S,
+}
+
+/// A medium that can run the synchronous protocol rounds; see the module docs
+/// for the three planes.
+pub trait Backend {
+    /// The data-plane sender type node threads clone.
+    type Sender: FrameSender + 'static;
+
+    /// Total node count of the run.
+    fn n(&self) -> usize;
+
+    /// The contiguous node range this process owns (the whole of `0..n` for
+    /// single-process backends).
+    fn owned(&self) -> Range<usize>;
+
+    /// Opens the data plane for one phase. Frames for this phase that arrived
+    /// before the call (a peer racing ahead through the summary barrier) must
+    /// be delivered, not lost.
+    fn open_phase(&mut self, phase: u8) -> Result<PhasePlane<Self::Sender>, NetError>;
+
+    /// The α-synchronizer barrier after `round`: blocks until every process
+    /// has finished it, then reports whether all nodes everywhere are done.
+    /// On return, every data frame sent in `round` (to this process) is
+    /// enqueued on its destination node's receiver.
+    fn exchange_done(
+        &mut self,
+        phase: u8,
+        round: u32,
+        local_all_done: bool,
+    ) -> Result<bool, NetError>;
+
+    /// All-gathers phase-end digests: `local` holds `(node index, encoded
+    /// summary)` for every owned node and `delivered` this process's
+    /// delivered-message count; the result covers all `n` nodes and the
+    /// run-wide delivered total.
+    fn exchange_summaries(
+        &mut self,
+        phase: u8,
+        local: SummaryEntries,
+        delivered: u64,
+    ) -> Result<(SummaryEntries, u64), NetError>;
+
+    /// Quiescence handshake: announces this process will send nothing further
+    /// and releases the medium's resources.
+    fn shutdown(&mut self) -> Result<(), NetError>;
+}
+
+/// The node range process `rank` owns out of `n` nodes split across `procs`
+/// processes: the standard contiguous block partition.
+pub fn partition(n: usize, procs: usize, rank: usize) -> Range<usize> {
+    (rank * n / procs)..((rank + 1) * n / procs)
+}
+
+/// The rank whose [`partition`] contains `node`.
+pub fn rank_of(n: usize, procs: usize, node: usize) -> usize {
+    // Inverse of `partition`'s floor arithmetic, found by the direct scan's
+    // closed form: candidate ranks differ by at most one from the even split.
+    let mut rank = (node * procs) / n;
+    while !partition(n, procs, rank).contains(&node) {
+        rank += 1;
+    }
+    rank
+}
+
+/// Single-process backend: every node a thread, every link an [`mpsc`]
+/// channel.
+pub struct ChannelBackend {
+    n: usize,
+}
+
+impl ChannelBackend {
+    /// A backend owning all `n` nodes of the run.
+    pub fn new(n: usize) -> ChannelBackend {
+        ChannelBackend { n }
+    }
+}
+
+/// [`ChannelBackend`]'s data-plane handle: direct routing into per-node
+/// queues.
+#[derive(Clone)]
+pub struct ChannelSender {
+    txs: std::sync::Arc<Vec<mpsc::Sender<Frame>>>,
+}
+
+impl FrameSender for ChannelSender {
+    fn send(&self, frame: Frame) -> Result<(), NetError> {
+        let to = frame.to as usize;
+        let tx = self
+            .txs
+            .get(to)
+            .ok_or_else(|| NetError::Protocol(format!("frame addressed to unknown node {to}")))?;
+        // A closed receiver means the destination thread already finished the
+        // phase: the frame was sent in the final executed round, which the
+        // synchronous model discards anyway.
+        let _ = tx.send(frame);
+        Ok(())
+    }
+}
+
+impl Backend for ChannelBackend {
+    type Sender = ChannelSender;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn owned(&self) -> Range<usize> {
+        0..self.n
+    }
+
+    fn open_phase(&mut self, _phase: u8) -> Result<PhasePlane<ChannelSender>, NetError> {
+        let (txs, receivers): (Vec<_>, Vec<_>) = (0..self.n).map(|_| mpsc::channel()).unzip();
+        Ok(PhasePlane {
+            receivers,
+            sender: ChannelSender {
+                txs: std::sync::Arc::new(txs),
+            },
+        })
+    }
+
+    fn exchange_done(
+        &mut self,
+        _phase: u8,
+        _round: u32,
+        local_all_done: bool,
+    ) -> Result<bool, NetError> {
+        // Single process: the local verdict is the global one, and the mpsc
+        // enqueue-on-send property already provides the data-before-barrier
+        // guarantee.
+        Ok(local_all_done)
+    }
+
+    fn exchange_summaries(
+        &mut self,
+        _phase: u8,
+        local: SummaryEntries,
+        delivered: u64,
+    ) -> Result<(SummaryEntries, u64), NetError> {
+        Ok((local, delivered))
+    }
+
+    fn shutdown(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_nodes_exactly_once() {
+        for (n, procs) in [(64, 4), (65, 4), (7, 3), (1, 1), (128, 5)] {
+            let mut covered = vec![0usize; n];
+            for rank in 0..procs {
+                for v in partition(n, procs, rank) {
+                    covered[v] += 1;
+                    assert_eq!(rank_of(n, procs, v), rank);
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "n={n} procs={procs}");
+        }
+    }
+
+    #[test]
+    fn channel_backend_routes_by_destination() {
+        let mut backend = ChannelBackend::new(3);
+        let plane = backend.open_phase(0).unwrap();
+        plane
+            .sender
+            .send(Frame::data(0, 0, 0, 2, 0, vec![7]))
+            .unwrap();
+        assert_eq!(plane.receivers[2].try_recv().unwrap().body, vec![7]);
+        assert!(plane.receivers[0].try_recv().is_err());
+        assert!(
+            plane
+                .sender
+                .send(Frame::data(0, 0, 0, 99, 0, Vec::new()))
+                .is_err(),
+            "frames to nodes outside the run are a protocol error"
+        );
+    }
+}

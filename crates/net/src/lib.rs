@@ -1,0 +1,86 @@
+//! Run the overlay-construction protocols over real byte streams.
+//!
+//! The simulator in `overlay-netsim` is a *model*: synchronous rounds, typed
+//! messages, perfect lockstep. This crate is the deployment side of the same
+//! protocol code — the identical [`overlay_core`] node state machines, driven
+//! unmodified over:
+//!
+//! * [`ChannelBackend`] — one OS thread per node inside one process, frames
+//!   over [`std::sync::mpsc`];
+//! * [`TcpBackend`] — multiple OS processes meshed over TCP with
+//!   length-prefixed binary frames (see [`frame`]).
+//!
+//! The seam is [`overlay_core::PhaseExecutor`]: [`NetRunner`] implements it
+//! over any [`Backend`], and
+//! [`overlay_core::OverlayBuilder::build_over`] drives the paper's pipeline
+//! through it. The runner reproduces the simulator's delivery order, RNG
+//! seeding, send caps and stop rule, so **per seed, every backend constructs
+//! the same final overlay graph** — the simulator is this crate's CI-checked
+//! model, and `tests/backend_equivalence.rs` enforces the claim.
+//!
+//! No async runtime is involved: the α-synchronizer (per-round `DONE`
+//! markers, see [`backend`]) turns blocking threads and sockets into the
+//! synchronous round structure the protocols were written against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod frame;
+pub mod runner;
+pub mod tcp;
+
+pub use backend::{
+    partition, rank_of, Backend, ChannelBackend, FrameSender, PhasePlane, SummaryEntries,
+};
+pub use frame::{Frame, FrameKind, Roster, WIRE_VERSION};
+pub use runner::NetRunner;
+pub use tcp::{TcpBackend, TcpHost};
+
+use overlay_netsim::wire::WireError;
+
+/// How the networking layer fails below the protocol layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// Bytes arrived that do not decode as what the protocol expects.
+    Codec(WireError),
+    /// A peer process missed a synchronizer deadline: the per-peer receive
+    /// timeout fired, which is this layer's failure-detector verdict.
+    PeerTimeout {
+        /// The rank that went silent.
+        rank: usize,
+        /// What was being waited for when the timeout fired.
+        waiting_for: &'static str,
+    },
+    /// The frame stream violated the synchronizer or handshake protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Codec(e) => write!(f, "undecodable frame: {e}"),
+            NetError::PeerTimeout { rank, waiting_for } => {
+                write!(f, "peer rank {rank} timed out (waiting for {waiting_for})")
+            }
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Codec(e)
+    }
+}

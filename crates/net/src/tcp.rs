@@ -1,0 +1,543 @@
+//! [`TcpBackend`]: the multi-process mesh over real sockets.
+//!
+//! `k` OS processes split the run's `n` nodes into contiguous blocks (see
+//! [`crate::backend::partition`]) and connect into a full mesh of TCP
+//! streams carrying length-prefixed [`Frame`]s:
+//!
+//! 1. **Handshake.** Rank 0 listens on a well-known address; each joiner
+//!    connects, opens its own ephemeral mesh listener, and sends
+//!    [`FrameKind::Hello`] with that listener's address. Once all `k - 1`
+//!    joiners are in, rank 0 assigns ranks in join order and answers each
+//!    with a [`Roster`] (total `n`, process count, the joiner's rank, an
+//!    application config word, and every joiner's mesh address).
+//! 2. **Mesh.** Each joiner keeps its rank-0 connection and dials every
+//!    *lower* non-zero rank (identifying itself with a `Hello`), while
+//!    accepting one connection from every *higher* rank — one stream per
+//!    process pair, no dial/accept deadlock.
+//! 3. **Rounds.** Node threads write data frames into shared buffered
+//!    writers. The coordinator's [`Backend::exchange_done`] flushes them,
+//!    appends the process's `DONE` marker and waits for every peer's — TCP's
+//!    per-stream FIFO then guarantees all of a peer's round-`r` data was
+//!    received (and routed by that stream's reader thread) before its
+//!    `DONE(r)` was, which is exactly the α-synchronizer barrier the runner
+//!    relies on.
+//! 4. **Failure detection.** Every barrier wait carries a deadline; a peer
+//!    that stays silent past it is reported as [`NetError::PeerTimeout`] with
+//!    its rank — the socket layer's failure-detector verdict.
+//! 5. **Quiescence.** [`Backend::shutdown`] exchanges [`FrameKind::Bye`]
+//!    markers so no process closes a socket another is still writing to.
+//!
+//! Each stream has one reader thread that demultiplexes by frame kind: data
+//! frames are routed to the destination node's queue (or parked in a backlog
+//! when they belong to a phase this process has not opened yet — a peer can
+//! legitimately race one phase ahead through the summary barrier), control
+//! frames go to the coordinator.
+
+use crate::backend::{partition, rank_of, Backend, FrameSender, PhasePlane, SummaryEntries};
+use crate::frame::{Frame, FrameKind, Roster, SummaryBody};
+use crate::NetError;
+use overlay_netsim::wire::Wire;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no phase open yet" in the routing table.
+const NO_PHASE: u8 = u8::MAX;
+
+/// Where reader threads deliver data frames for the currently open phase.
+struct Routing {
+    phase: u8,
+    /// Smallest owned node index (the partition's start).
+    base: usize,
+    /// Per-owned-node senders, indexed by `node - base`.
+    txs: Vec<mpsc::Sender<Frame>>,
+    /// Data frames for phases not yet opened locally.
+    backlog: Vec<Frame>,
+}
+
+impl Routing {
+    /// Routes a current-phase data frame into its owned node's queue;
+    /// mis-addressed frames are dropped.
+    fn route(&self, frame: Frame) {
+        let slot = (frame.to as usize).wrapping_sub(self.base);
+        if let Some(tx) = self.txs.get(slot) {
+            let _ = tx.send(frame);
+        }
+    }
+}
+
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// One mesh link to a peer process (the read half lives in a reader thread).
+struct Peer {
+    writer: SharedWriter,
+}
+
+/// The multi-process TCP implementation of [`Backend`].
+pub struct TcpBackend {
+    rank: usize,
+    procs: usize,
+    n: usize,
+    config: u64,
+    timeout: Duration,
+    peers: Vec<Option<Peer>>,
+    ctrl_rx: mpsc::Receiver<Frame>,
+    /// Keeps the control channel open even when no reader threads exist
+    /// (single-process runs) and lets reader threads clone from one place.
+    _ctrl_tx: mpsc::Sender<Frame>,
+    /// Control frames received while waiting for a different one.
+    pending_ctrl: Vec<Frame>,
+    routing: Arc<Mutex<Routing>>,
+}
+
+/// A bound-but-not-yet-meshed rank-0 endpoint, split from
+/// [`TcpBackend::listen`] so callers binding an ephemeral port (`:0`) can
+/// learn the actual address before the joiners dial in.
+pub struct TcpHost {
+    listener: TcpListener,
+}
+
+impl TcpHost {
+    /// Binds the rank-0 handshake listener.
+    pub fn bind(bind_addr: &str) -> Result<TcpHost, NetError> {
+        Ok(TcpHost {
+            listener: TcpListener::bind(bind_addr)?,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the assigned port).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Waits for `procs - 1` joiners, assigns ranks in join order, broadcasts
+    /// the roster and becomes rank 0's backend. `config` is an
+    /// application-defined word relayed to every joiner (the bootstrap
+    /// example packs its graph seed in it).
+    pub fn accept(
+        self,
+        procs: usize,
+        n: usize,
+        config: u64,
+        timeout: Duration,
+    ) -> Result<TcpBackend, NetError> {
+        if procs == 0 {
+            return Err(NetError::Protocol(
+                "a run needs at least one process".into(),
+            ));
+        }
+        let mut backend = TcpBackend::empty(0, procs, n, config, timeout);
+        if procs == 1 {
+            return Ok(backend);
+        }
+        let listener = self.listener;
+        let mut joins = Vec::with_capacity(procs - 1);
+        for _ in 1..procs {
+            let (stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(timeout))?;
+            let hello = read_handshake_frame(&stream, FrameKind::Hello)?;
+            joins.push((stream, hello.body));
+        }
+        let addrs: Vec<Vec<u8>> = joins.iter().map(|(_, addr)| addr.clone()).collect();
+        for (idx, (stream, _)) in joins.into_iter().enumerate() {
+            let rank = idx + 1;
+            let roster = Roster {
+                n: n as u32,
+                procs: procs as u32,
+                your_rank: rank as u32,
+                config,
+                addrs: addrs.clone(),
+            };
+            let mut body = Vec::new();
+            roster.encode(&mut body);
+            let mut frame = Frame::control(FrameKind::Roster, 0, 0, 0, rank as u32);
+            frame.body = body;
+            write_handshake_frame(&stream, &frame)?;
+            backend.install_peer(rank, stream)?;
+        }
+        Ok(backend)
+    }
+}
+
+impl TcpBackend {
+    /// Rank 0 in one call: bind `bind_addr` and complete the mesh (see
+    /// [`TcpHost`] for the two-step form).
+    pub fn listen(
+        bind_addr: &str,
+        procs: usize,
+        n: usize,
+        config: u64,
+        timeout: Duration,
+    ) -> Result<TcpBackend, NetError> {
+        TcpHost::bind(bind_addr)?.accept(procs, n, config, timeout)
+    }
+
+    /// A joiner: connect to rank 0 at `listener_addr`, receive a rank and the
+    /// roster, and complete the mesh. `n`, the process count and the config
+    /// word all come from the roster.
+    pub fn join(listener_addr: &str, timeout: Duration) -> Result<TcpBackend, NetError> {
+        let zero = TcpStream::connect(listener_addr)?;
+        zero.set_nodelay(true)?;
+        zero.set_read_timeout(Some(timeout))?;
+        let mesh_listener = TcpListener::bind("127.0.0.1:0")?;
+        let mesh_addr = mesh_listener.local_addr()?.to_string();
+        let mut hello = Frame::control(FrameKind::Hello, 0, 0, 0, 0);
+        hello.body = mesh_addr.into_bytes();
+        write_handshake_frame(&zero, &hello)?;
+        let roster_frame = read_handshake_frame(&zero, FrameKind::Roster)?;
+        let mut slice = roster_frame.body.as_slice();
+        let roster = Roster::decode(&mut slice).map_err(NetError::Codec)?;
+        let (n, procs, rank) = (
+            roster.n as usize,
+            roster.procs as usize,
+            roster.your_rank as usize,
+        );
+        if rank == 0 || rank >= procs {
+            return Err(NetError::Protocol(format!(
+                "roster assigned invalid rank {rank}"
+            )));
+        }
+        let mut backend = TcpBackend::empty(rank, procs, n, roster.config, timeout);
+        backend.install_peer(0, zero)?;
+        // Dial every lower non-zero rank, identifying ourselves.
+        for lower in 1..rank {
+            let addr = String::from_utf8(roster.addrs[lower - 1].clone())
+                .map_err(|_| NetError::Protocol("mesh address is not UTF-8".into()))?;
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(timeout))?;
+            let ident = Frame::control(FrameKind::Hello, 0, 0, rank as u32, lower as u32);
+            write_handshake_frame(&stream, &ident)?;
+            backend.install_peer(lower, stream)?;
+        }
+        // Accept every higher rank's dial.
+        for _ in rank + 1..procs {
+            let (stream, _) = mesh_listener.accept()?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(timeout))?;
+            let ident = read_handshake_frame(&stream, FrameKind::Hello)?;
+            let dialer = ident.from as usize;
+            if dialer <= rank || dialer >= procs {
+                return Err(NetError::Protocol(format!(
+                    "mesh dial from unexpected rank {dialer}"
+                )));
+            }
+            backend.install_peer(dialer, stream)?;
+        }
+        Ok(backend)
+    }
+
+    /// Total processes in the mesh.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The application config word from the roster (rank 0: the value it
+    /// passed to [`TcpBackend::listen`]).
+    pub fn config(&self) -> u64 {
+        self.config
+    }
+
+    fn empty(rank: usize, procs: usize, n: usize, config: u64, timeout: Duration) -> TcpBackend {
+        let (ctrl_tx, ctrl_rx) = mpsc::channel();
+        TcpBackend {
+            rank,
+            procs,
+            n,
+            config,
+            timeout,
+            peers: (0..procs).map(|_| None).collect(),
+            ctrl_rx,
+            _ctrl_tx: ctrl_tx,
+            pending_ctrl: Vec::new(),
+            routing: Arc::new(Mutex::new(Routing {
+                phase: NO_PHASE,
+                base: partition(n, procs, rank).start,
+                txs: Vec::new(),
+                backlog: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers the mesh stream for `rank`, spawning its reader thread.
+    fn install_peer(&mut self, rank: usize, stream: TcpStream) -> Result<(), NetError> {
+        if self.peers[rank].is_some() {
+            return Err(NetError::Protocol(format!(
+                "duplicate mesh link to rank {rank}"
+            )));
+        }
+        // Handshake deadlines no longer apply; barrier waits carry their own.
+        stream.set_read_timeout(None)?;
+        let read_half = stream.try_clone()?;
+        let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+        let routing = Arc::clone(&self.routing);
+        let ctrl_tx = self._ctrl_tx.clone();
+        std::thread::spawn(move || reader_loop(read_half, routing, ctrl_tx));
+        self.peers[rank] = Some(Peer { writer });
+        Ok(())
+    }
+
+    /// Writes `frame` to every peer and flushes, so everything previously
+    /// buffered (the round's data) reaches the wire strictly before it.
+    fn broadcast_ctrl(&self, frame: &Frame) -> Result<(), NetError> {
+        for peer in self.peers.iter().flatten() {
+            let mut w = peer.writer.lock().expect("writer lock");
+            frame.write_to(&mut *w)?;
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Retrieves the control frame matching (`kind`, `phase`, `round`, `from
+    /// == rank`), consuming buffered candidates first and waiting on the
+    /// control channel (bounded by the configured timeout) otherwise.
+    fn wait_ctrl(
+        &mut self,
+        kind: FrameKind,
+        phase: u8,
+        round: u32,
+        rank: usize,
+        waiting_for: &'static str,
+    ) -> Result<Frame, NetError> {
+        let matches = |f: &Frame| {
+            f.kind == kind && f.phase == phase && f.round == round && f.from as usize == rank
+        };
+        if let Some(pos) = self.pending_ctrl.iter().position(matches) {
+            return Ok(self.pending_ctrl.remove(pos));
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(NetError::PeerTimeout { rank, waiting_for });
+            }
+            match self.ctrl_rx.recv_timeout(remaining) {
+                Ok(frame) if matches(&frame) => return Ok(frame),
+                Ok(frame)
+                    if frame.kind == FrameKind::Bye
+                        && kind != FrameKind::Bye
+                        && frame.from as usize == rank =>
+                {
+                    // FIFO per stream: a Bye from the awaited rank means the
+                    // expected frame can never arrive. Byes from *other* ranks
+                    // are normal (they finished the run and are quiescing) and
+                    // fall through to the buffer for shutdown() to consume.
+                    return Err(NetError::Protocol(format!(
+                        "rank {} hung up mid-run",
+                        frame.from
+                    )));
+                }
+                Ok(frame) => self.pending_ctrl.push(frame),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(NetError::PeerTimeout { rank, waiting_for });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Protocol("control plane closed".into()));
+                }
+            }
+        }
+    }
+}
+
+impl Backend for TcpBackend {
+    type Sender = TcpSender;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn owned(&self) -> Range<usize> {
+        partition(self.n, self.procs, self.rank)
+    }
+
+    fn open_phase(&mut self, phase: u8) -> Result<PhasePlane<TcpSender>, NetError> {
+        let owned = self.owned();
+        let (txs, receivers): (Vec<_>, Vec<_>) = owned.clone().map(|_| mpsc::channel()).unzip();
+        let mut routing = self.routing.lock().expect("routing lock");
+        routing.phase = phase;
+        routing.base = owned.start;
+        routing.txs = txs.clone();
+        // A peer that raced ahead through the previous summary barrier may
+        // already have sent this phase's round-0 data; release it now. Stale
+        // frames from closed phases are dropped with the swap.
+        let backlog = std::mem::take(&mut routing.backlog);
+        for frame in backlog {
+            if frame.phase == phase {
+                routing.route(frame);
+            }
+        }
+        drop(routing);
+        let writers = self
+            .peers
+            .iter()
+            .map(|p| p.as_ref().map(|p| Arc::clone(&p.writer)))
+            .collect();
+        Ok(PhasePlane {
+            receivers,
+            sender: TcpSender {
+                n: self.n,
+                procs: self.procs,
+                rank: self.rank,
+                base: owned.start,
+                local: Arc::new(txs),
+                writers: Arc::new(writers),
+            },
+        })
+    }
+
+    fn exchange_done(
+        &mut self,
+        phase: u8,
+        round: u32,
+        local_all_done: bool,
+    ) -> Result<bool, NetError> {
+        let mut done = Frame::control(FrameKind::Done, phase, round, self.rank as u32, 0);
+        done.body = vec![u8::from(local_all_done)];
+        self.broadcast_ctrl(&done)?;
+        let mut all_done = local_all_done;
+        let me = self.rank;
+        for rank in (0..self.procs).filter(|&r| r != me) {
+            let frame = self.wait_ctrl(FrameKind::Done, phase, round, rank, "DONE")?;
+            let mut slice = frame.body.as_slice();
+            all_done &= bool::decode(&mut slice).map_err(NetError::Codec)?;
+        }
+        Ok(all_done)
+    }
+
+    fn exchange_summaries(
+        &mut self,
+        phase: u8,
+        local: SummaryEntries,
+        delivered: u64,
+    ) -> Result<(SummaryEntries, u64), NetError> {
+        let body = SummaryBody {
+            entries: local.clone(),
+            delivered,
+        };
+        let mut frame = Frame::control(FrameKind::Summary, phase, 0, self.rank as u32, 0);
+        body.encode(&mut frame.body);
+        self.broadcast_ctrl(&frame)?;
+        let mut all = local;
+        let mut total = delivered;
+        let me = self.rank;
+        for rank in (0..self.procs).filter(|&r| r != me) {
+            let frame = self.wait_ctrl(FrameKind::Summary, phase, 0, rank, "SUMMARY")?;
+            let mut slice = frame.body.as_slice();
+            let body = SummaryBody::decode(&mut slice).map_err(NetError::Codec)?;
+            all.extend(body.entries);
+            total += body.delivered;
+        }
+        Ok((all, total))
+    }
+
+    fn shutdown(&mut self) -> Result<(), NetError> {
+        let bye = Frame::control(FrameKind::Bye, 0, 0, self.rank as u32, 0);
+        self.broadcast_ctrl(&bye)?;
+        // Quiescence: wait for every peer's Bye so no socket is torn down
+        // while the other side still writes. A peer that already hung up
+        // (its Bye is buffered, or its stream is gone) must not wedge us.
+        let me = self.rank;
+        for rank in (0..self.procs).filter(|&r| r != me) {
+            match self.wait_ctrl(FrameKind::Bye, 0, 0, rank, "BYE") {
+                Ok(_) | Err(NetError::Protocol(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`TcpBackend`]'s data-plane handle: local queues for owned destinations,
+/// the peer's shared buffered writer otherwise.
+#[derive(Clone)]
+pub struct TcpSender {
+    n: usize,
+    procs: usize,
+    rank: usize,
+    base: usize,
+    local: Arc<Vec<mpsc::Sender<Frame>>>,
+    writers: Arc<Vec<Option<SharedWriter>>>,
+}
+
+impl FrameSender for TcpSender {
+    fn send(&self, frame: Frame) -> Result<(), NetError> {
+        let to = frame.to as usize;
+        if to >= self.n {
+            return Err(NetError::Protocol(format!(
+                "frame addressed to unknown node {to}"
+            )));
+        }
+        let rank = rank_of(self.n, self.procs, to);
+        if rank == self.rank {
+            // A closed receiver is a node thread that already finished — the
+            // frame belongs to the discarded final round.
+            let _ = self.local[to - self.base].send(frame);
+            return Ok(());
+        }
+        let writer = self.writers[rank]
+            .as_ref()
+            .ok_or_else(|| NetError::Protocol(format!("no mesh link to rank {rank}")))?;
+        let mut w = writer.lock().expect("writer lock");
+        frame.write_to(&mut *w)?;
+        Ok(())
+    }
+}
+
+/// One mesh stream's demultiplexer: data to the routing table, control to the
+/// coordinator. Exits on `Bye`, EOF or a torn stream (the coordinator's
+/// barrier deadline turns the latter into a [`NetError::PeerTimeout`]).
+fn reader_loop(stream: TcpStream, routing: Arc<Mutex<Routing>>, ctrl_tx: mpsc::Sender<Frame>) {
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(frame)) = Frame::read_from(&mut reader) {
+        match frame.kind {
+            FrameKind::Data => {
+                let mut routing = routing.lock().expect("routing lock");
+                if frame.phase == routing.phase {
+                    routing.route(frame);
+                } else {
+                    routing.backlog.push(frame);
+                }
+            }
+            FrameKind::Bye => {
+                let _ = ctrl_tx.send(frame);
+                break;
+            }
+            _ => {
+                if ctrl_tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Writes one frame during the handshake, before the shared buffered writer
+/// exists.
+fn write_handshake_frame(mut stream: &TcpStream, frame: &Frame) -> Result<(), NetError> {
+    frame.write_to(&mut stream)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one frame during the handshake and checks its kind (the stream's
+/// read deadline bounds the wait).
+fn read_handshake_frame(mut stream: &TcpStream, want: FrameKind) -> Result<Frame, NetError> {
+    let frame = Frame::read_from(&mut stream)?
+        .ok_or_else(|| NetError::Protocol("peer hung up during the handshake".into()))?;
+    if frame.kind != want {
+        return Err(NetError::Protocol(format!(
+            "expected a {want:?} frame during the handshake, got {:?}",
+            frame.kind
+        )));
+    }
+    Ok(frame)
+}

@@ -1,0 +1,150 @@
+//! The crate's central claim, enforced: per seed, every backend constructs
+//! the same final overlay graph.
+//!
+//! The lockstep simulator is the model; the channel backend (one thread per
+//! node, frames over mpsc) and the TCP backend (processes meshed over
+//! loopback sockets — realized as threads sharing nothing but their sockets
+//! here) must reproduce its expander edges, BFS parents, binarized tree,
+//! round counts and delivered-message totals exactly.
+
+use overlay_core::{ExpanderParams, OverlayBuilder, OverlayResult, SimExecutor};
+use overlay_graph::{generators, DiGraph, NodeId};
+use overlay_net::{ChannelBackend, NetRunner, TcpBackend, TcpHost};
+use std::time::Duration;
+
+fn builder(n: usize, seed: u64) -> OverlayBuilder {
+    OverlayBuilder::new(ExpanderParams::for_n(n).with_seed(seed))
+}
+
+/// A low-degree connected graph family, varied by seed.
+fn knowledge_graph(n: usize, seed: u64) -> DiGraph {
+    match seed % 3 {
+        0 => generators::line(n),
+        1 => generators::cycle(n),
+        _ => generators::binary_tree(n),
+    }
+}
+
+fn assert_same_overlay(context: &str, model: &OverlayResult, subject: &OverlayResult) {
+    assert_eq!(
+        subject.expander.edge_count(),
+        model.expander.edge_count(),
+        "{context}: expander edge counts diverged"
+    );
+    for v in model.expander.nodes() {
+        assert_eq!(
+            subject.expander.neighbors(v),
+            model.expander.neighbors(v),
+            "{context}: expander neighborhoods of {v:?} diverged"
+        );
+    }
+    assert_eq!(
+        subject.bfs_parents, model.bfs_parents,
+        "{context}: BFS parents diverged"
+    );
+    assert_eq!(subject.tree.node_count(), model.tree.node_count());
+    for v in (0..model.tree.node_count()).map(NodeId::from) {
+        assert_eq!(
+            subject.tree.parent(v),
+            model.tree.parent(v),
+            "{context}: tree parents of {v:?} diverged"
+        );
+    }
+    assert_eq!(
+        (
+            subject.rounds.construction,
+            subject.rounds.bfs,
+            subject.rounds.finalize
+        ),
+        (
+            model.rounds.construction,
+            model.rounds.bfs,
+            model.rounds.finalize
+        ),
+        "{context}: round counts diverged"
+    );
+    assert_eq!(
+        subject.messages.total_delivered, model.messages.total_delivered,
+        "{context}: delivered totals diverged"
+    );
+}
+
+#[test]
+fn channel_backend_matches_the_simulator_across_seeds() {
+    for seed in 0u64..16 {
+        let n = 32 + (seed as usize % 4) * 16; // 32, 48, 64, 80
+        let g = knowledge_graph(n, seed);
+        let b = builder(n, seed);
+        let model = b
+            .build_over(&g, &mut SimExecutor::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: simulator build failed: {e}"));
+        let mut runner = NetRunner::new(ChannelBackend::new(n));
+        let subject = b
+            .build_over(&g, &mut runner)
+            .unwrap_or_else(|e| panic!("seed {seed}: channel build failed: {e}"));
+        assert_same_overlay(&format!("n={n} seed={seed}"), &model, &subject);
+    }
+}
+
+#[test]
+fn channel_backend_matches_the_classic_build_entry_point() {
+    let n = 64;
+    let g = generators::line(n);
+    let b = builder(n, 5);
+    let direct = b.build(&g).expect("build");
+    let mut runner = NetRunner::new(ChannelBackend::new(n));
+    let subject = b.build_over(&g, &mut runner).expect("channel build");
+    assert_same_overlay("build() vs channel", &direct, &subject);
+}
+
+#[test]
+fn tcp_loopback_matches_the_simulator() {
+    let n = 16;
+    let seed = 2;
+    let procs = 4;
+    let g = knowledge_graph(n, seed);
+    let b = builder(n, seed);
+    let model = b
+        .build_over(&g, &mut SimExecutor::default())
+        .expect("simulator build");
+
+    let host = TcpHost::bind("127.0.0.1:0").expect("bind");
+    let addr = host.local_addr().expect("local addr").to_string();
+    let timeout = Duration::from_secs(30);
+    let mut results = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        handles.push(scope.spawn({
+            let g = g.clone();
+            move || {
+                let backend = host.accept(procs, n, seed, timeout).expect("accept");
+                let mut runner = NetRunner::new(backend);
+                let result = b.build_over(&g, &mut runner).expect("rank 0 build");
+                runner.shutdown().expect("rank 0 shutdown");
+                result
+            }
+        }));
+        for _ in 1..procs {
+            handles.push(scope.spawn({
+                let g = g.clone();
+                let addr = addr.clone();
+                move || {
+                    let backend = TcpBackend::join(&addr, timeout).expect("join");
+                    let mut runner = NetRunner::new(backend);
+                    let result = b.build_over(&g, &mut runner).expect("joiner build");
+                    runner.shutdown().expect("joiner shutdown");
+                    result
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread"))
+            .collect::<Vec<_>>()
+    });
+
+    // Every process derives the identical overlay from the all-gathered
+    // summaries, and it matches the simulator's.
+    for (rank, subject) in results.drain(..).enumerate() {
+        assert_same_overlay(&format!("tcp rank {rank}"), &model, &subject);
+    }
+}

@@ -72,12 +72,14 @@ pub mod protocol;
 pub mod runtime;
 pub mod trace;
 pub mod transport;
+pub mod wire;
 
 pub use caps::CapacityModel;
 pub use churn::{ChurnSchedule, CrashBurst, RoundChurn};
 pub use faults::{CrashEvent, DelayModel, FaultPlan, FaultRouter, JoinEvent, Partition};
 pub use metrics::{MetricsMode, RoundMetrics, RunMetrics, TransportCounters};
 pub use protocol::{Channel, Ctx, Envelope, Protocol};
-pub use runtime::{ParallelismConfig, RunOutcome, SimConfig, Simulator};
+pub use runtime::{node_rng, ParallelismConfig, RunOutcome, SimConfig, Simulator};
 pub use trace::{DropCause, SharedTraceSink, TraceBuffer, TraceEvent, TraceSink};
 pub use transport::TransportConfig;
+pub use wire::{Wire, WireError};

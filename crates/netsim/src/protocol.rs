@@ -82,6 +82,40 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Builds a context for an *external* runner — a round executor other than
+    /// [`crate::Simulator`], such as the socket-backed runners in the
+    /// `overlay-net` crate — that owns its own per-node outbox.
+    ///
+    /// The constructed context behaves exactly like the one the simulator
+    /// hands to callbacks, with this node's messages starting at the current
+    /// end of `outbox`. External runners that replicate the simulator's
+    /// delivery order and [`crate::runtime::node_rng`] seeding therefore drive
+    /// protocols through bit-identical state trajectories.
+    pub fn external(
+        me: NodeId,
+        round: usize,
+        n: usize,
+        rng: &'a mut StdRng,
+        outbox: &'a mut Vec<(NodeId, Channel, M)>,
+    ) -> Self {
+        Ctx {
+            me,
+            round,
+            n,
+            base: outbox.len(),
+            rng,
+            outbox,
+            transport: TransportCounters::default(),
+        }
+    }
+
+    /// The transport-overhead counters reported by adapters during this
+    /// callback (external runners fold these into their own metrics; the
+    /// simulator reads the field directly).
+    pub fn transport_counters(&self) -> TransportCounters {
+        self.transport
+    }
+
     /// The identifier of the executing node.
     pub fn me(&self) -> NodeId {
         self.me

@@ -335,6 +335,17 @@ impl<M> Default for NodeShard<M> {
     }
 }
 
+/// The per-node RNG for node `i` of a run seeded with `seed`.
+///
+/// This is the seeding rule [`Simulator::new`] uses (seed XOR a
+/// golden-ratio-multiplied node index, so neighboring nodes get well-separated
+/// streams). It is public so external round executors (the `overlay-net`
+/// crate) can hand each node the *identical* random stream the simulator
+/// would, which is what makes cross-backend runs bit-for-bit comparable.
+pub fn node_rng(seed: u64, i: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
+}
+
 /// A deterministic synchronous simulator executing one [`Protocol`] state machine per
 /// node.
 ///
@@ -418,13 +429,7 @@ impl<P: Protocol> Simulator<P> {
                 "local edge table must have one entry per node"
             );
         }
-        let rngs = (0..n)
-            .map(|i| {
-                StdRng::seed_from_u64(
-                    config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
-                )
-            })
-            .collect();
+        let rngs = (0..n).map(|i| node_rng(config.seed, i)).collect();
         let local_neighbors = config.local_edges.map(LocalAdjacency::new);
         let done_flags = nodes.iter().map(Protocol::is_done).collect();
         Simulator {

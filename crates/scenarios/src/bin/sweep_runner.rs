@@ -53,6 +53,11 @@
 //!                   per-n wall-clocks land in `<dir>/scaling.md`
 //!   --max-n N       cap the scaling harness at cells with n <= N
 //!                   (default 65536)
+//!   --net-smoke     run the transport-equivalence smoke instead of sweeps:
+//!                   a handful of (n, seed) overlay builds through the real
+//!                   `overlay-net` channel backend (a thread per node, frames
+//!                   over mpsc), each asserted identical to the lockstep
+//!                   simulator's build; per-backend wall-clocks are printed
 //!   SCENARIO...     registry names to run (default: the whole registry)
 //! ```
 //!
@@ -90,6 +95,7 @@ struct Options {
     par_threshold: Option<usize>,
     scaling: bool,
     max_n: usize,
+    net_smoke: bool,
     names: Vec<String>,
 }
 
@@ -111,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
         par_threshold: None,
         scaling: false,
         max_n: 65536,
+        net_smoke: false,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -150,6 +157,7 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--scaling" => opts.scaling = true,
+            "--net-smoke" => opts.net_smoke = true,
             "--max-n" => {
                 opts.max_n = value("--max-n")?
                     .parse()
@@ -160,7 +168,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: sweep_runner [--seeds N] [--first-seed S] [--dir PATH] \
                             [--check] [--full] [--compare [--no-run] [--write-thresholds]] \
                             [--trace NAME [--seed S]] [--explain] [--list] [--tag T] \
-                            [--par-threshold N] [--scaling [--max-n N]] \
+                            [--par-threshold N] [--scaling [--max-n N]] [--net-smoke] \
                             [SCENARIO...]"
                         .into(),
                 )
@@ -415,6 +423,72 @@ fn run_scaling(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--net-smoke`: the in-gate half of `overlay-net`'s "simulator as model"
+/// contract. A few (n, seed) builds run through the real channel backend —
+/// node threads, mpsc frames, the wire codec, the α-synchronizer — and every
+/// final overlay must be identical to the simulator's. The TCP half (multiple
+/// OS processes over loopback sockets) runs as a separate CI step via
+/// `examples/p2p_bootstrap.rs --backend tcp --spawn`.
+fn run_net_smoke() -> ExitCode {
+    use overlay_core::{ExpanderParams, OverlayBuilder, SimExecutor};
+    use overlay_graph::generators;
+    use overlay_net::{ChannelBackend, NetRunner};
+
+    let cases = [(64usize, 3u64), (96, 8), (128, 21)];
+    for (n, seed) in cases {
+        let g = match seed % 2 {
+            0 => generators::cycle(n),
+            _ => generators::binary_tree(n),
+        };
+        let builder = OverlayBuilder::new(ExpanderParams::for_n(n).with_seed(seed));
+        let sim_started = std::time::Instant::now();
+        let sim = match builder.build_over(&g, &mut SimExecutor::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--net-smoke: simulator build failed for n={n} seed={seed}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sim_wall = sim_started.elapsed();
+        let net_started = std::time::Instant::now();
+        let mut runner = NetRunner::new(ChannelBackend::new(n));
+        let net = match builder.build_over(&g, &mut runner) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--net-smoke: channel build failed for n={n} seed={seed}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let net_wall = net_started.elapsed();
+        let same_expander = sim.expander.edge_count() == net.expander.edge_count()
+            && sim
+                .expander
+                .nodes()
+                .all(|v| sim.expander.neighbors(v) == net.expander.neighbors(v));
+        let same_tree = (0..n).all(|v| {
+            sim.tree.parent(overlay_graph::NodeId::from(v))
+                == net.tree.parent(overlay_graph::NodeId::from(v))
+        });
+        let same = same_expander
+            && same_tree
+            && sim.bfs_parents == net.bfs_parents
+            && sim.rounds.total() == net.rounds.total()
+            && sim.messages.total_delivered == net.messages.total_delivered;
+        println!(
+            "net-smoke n={n:<4} seed={seed:<3} rounds={:<4} delivered={:<7} sim={sim_wall:.2?} channel={net_wall:.2?} identical={same}",
+            sim.rounds.total(),
+            sim.messages.total_delivered,
+        );
+        if !same {
+            eprintln!(
+                "--net-smoke: channel backend diverged from the simulator (n={n} seed={seed})"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -432,6 +506,9 @@ fn main() -> ExitCode {
     }
     if opts.scaling {
         return run_scaling(&opts);
+    }
+    if opts.net_smoke {
+        return run_net_smoke();
     }
     if opts.no_run {
         return compare_committed(&opts);

@@ -2,6 +2,7 @@
 //! duplicate suppression around an arbitrary inner [`Protocol`].
 
 use overlay_graph::NodeId;
+use overlay_netsim::wire::{Wire, WireError};
 use overlay_netsim::{Channel, Ctx, Envelope, Protocol, TransportConfig};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -36,6 +37,43 @@ pub enum TransportMsg<M> {
         /// Bit `i` set means sequence `cum + 1 + i` was received out of order.
         sel: u64,
     },
+}
+
+impl<M: Wire> Wire for TransportMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TransportMsg::Data {
+                seq,
+                floor,
+                payload,
+            } => {
+                out.push(0);
+                seq.encode(out);
+                floor.encode(out);
+                payload.encode(out);
+            }
+            TransportMsg::Ack { cum, sel } => {
+                out.push(1);
+                cum.encode(out);
+                sel.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(TransportMsg::Data {
+                seq: u32::decode(buf)?,
+                floor: u32::decode(buf)?,
+                payload: M::decode(buf)?,
+            }),
+            1 => Ok(TransportMsg::Ack {
+                cum: u32::decode(buf)?,
+                sel: u64::decode(buf)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
 }
 
 /// One queued-or-in-flight outgoing payload.
@@ -210,6 +248,13 @@ pub struct Reliable<P: Protocol> {
     inner_outbox: Vec<(NodeId, Channel, P::Message)>,
     /// Reusable buffer of fresh payloads handed to the inner protocol.
     inner_inbox: Vec<Envelope<P::Message>>,
+    /// The adapter's own round clock: `0` at `on_start`, advanced once per
+    /// `on_round`. Retransmission timers compare ticks, never the scheduler's
+    /// round number, so the adapter behaves identically whether it is driven
+    /// by the lockstep simulator or by a socket backend whose synchronizer
+    /// has no global round counter to offer. Under the simulator the tick
+    /// equals `ctx.round()` exactly, so this is a pure refactor there.
+    tick: usize,
     stats: ReliableStats,
 }
 
@@ -222,6 +267,7 @@ impl<P: Protocol> Reliable<P> {
             peers: BTreeMap::new(),
             inner_outbox: Vec::new(),
             inner_inbox: Vec::new(),
+            tick: 0,
             stats: ReliableStats::default(),
         }
     }
@@ -287,7 +333,7 @@ impl<P: Protocol> Reliable<P> {
     /// so per-peer FIFO is preserved — on a clean network this is exactly the
     /// inner protocol's send order).
     fn open_windows(&mut self, ctx: &mut Ctx<'_, TransportMsg<P::Message>>) {
-        let round = ctx.round();
+        let round = self.tick;
         for (&to, peer) in self.peers.iter_mut() {
             if peer.in_flight >= self.config.window {
                 continue;
@@ -321,7 +367,7 @@ impl<P: Protocol> Reliable<P> {
     /// Re-sends every in-flight entry whose retransmission timer expired;
     /// abandons entries that exhausted their retransmission budget.
     fn retransmit_due(&mut self, ctx: &mut Ctx<'_, TransportMsg<P::Message>>) {
-        let round = ctx.round();
+        let round = self.tick;
         for (&to, peer) in self.peers.iter_mut() {
             // Computed before any abandonment below: the floor only ever rises,
             // so a conservatively low value is always safe to advertise.
@@ -405,6 +451,7 @@ impl<P: Protocol> Protocol for Reliable<P> {
     type Message = TransportMsg<P::Message>;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Message>) {
+        self.tick = 0;
         self.inner_outbox.clear();
         {
             let mut inner_ctx = ctx.derived(&mut self.inner_outbox);
@@ -415,6 +462,7 @@ impl<P: Protocol> Protocol for Reliable<P> {
     }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Message>, inbox: &[Envelope<Self::Message>]) {
+        self.tick += 1;
         // 1. Unwrap the round's arrivals: acks update the outgoing streams, fresh
         //    data is queued for the inner protocol, duplicates are suppressed.
         self.inner_inbox.clear();

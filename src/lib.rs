@@ -16,6 +16,9 @@
 //!   per-phase round-budget/transport overrides,
 //! * [`hybrid`] (`overlay-hybrid`) — connected components, spanning trees, biconnected
 //!   components and MIS in the hybrid model (Theorems 1.2–1.5),
+//! * [`net`] (`overlay-net`) — the same protocol code over real byte streams: a
+//!   threaded channel backend and a multi-process TCP backend behind the
+//!   `PhaseExecutor` seam, with the simulator as the CI-checked model,
 //! * [`baselines`] (`overlay-baselines`) — supernode merging, pointer jumping, flooding
 //!   and Luby MIS baselines,
 //! * [`scenarios`] (`overlay-scenarios`) — declarative churn/fault scenarios (message
@@ -43,6 +46,7 @@ pub use overlay_baselines as baselines;
 pub use overlay_core as core;
 pub use overlay_graph as graph;
 pub use overlay_hybrid as hybrid;
+pub use overlay_net as net;
 pub use overlay_netsim as netsim;
 pub use overlay_scenarios as scenarios;
 pub use overlay_transport as transport;
