@@ -274,6 +274,29 @@ impl MaintenanceRunner {
         self.tree.as_ref()
     }
 
+    /// Member ids currently admitted to the overlay, ascending. The core graph
+    /// ([`MaintenanceRunner::core_graph`]) indexes into this list ("core
+    /// space": core-space node `i` is member `core()[i]`).
+    pub fn core(&self) -> &[usize] {
+        &self.core
+    }
+
+    /// The current communication graph over the admitted core, in core space.
+    /// Traffic layered on a serving overlay routes over exactly these edges.
+    pub fn core_graph(&self) -> &UGraph {
+        &self.graph
+    }
+
+    /// Core-space alive mask: `true` for each core slot whose member is still
+    /// admitted (all of them between epochs — crashes are folded into the core
+    /// at the next epoch step, so this is the honest per-slot view mid-epoch).
+    pub fn core_alive(&self) -> Vec<bool> {
+        self.core
+            .iter()
+            .map(|&m| self.members[m].status == MemberStatus::Admitted)
+            .collect()
+    }
+
     fn emit(&self, event: TraceEvent) {
         if let Some(sink) = &self.trace {
             sink.borrow_mut().record(event);

@@ -46,18 +46,25 @@ pub enum PhaseId {
     Bfs,
     /// The one-round tree binarization.
     Binarize,
+    /// A post-construction traffic phase: request routing over the finished
+    /// overlay (`overlay-traffic` routers). Not part of [`PhaseId::ALL`] — the
+    /// construction pipeline never runs it; the scenario layer appends it after
+    /// a successful build.
+    Traffic,
 }
 
 impl PhaseId {
-    /// All phases, in pipeline order.
+    /// All *construction* phases, in pipeline order. [`PhaseId::Traffic`] is an
+    /// application phase layered on top and is deliberately absent.
     pub const ALL: [PhaseId; 3] = [PhaseId::CreateExpander, PhaseId::Bfs, PhaseId::Binarize];
 
-    /// The phase's report name (`create-expander`, `bfs`, `binarize`).
+    /// The phase's report name (`create-expander`, `bfs`, `binarize`, `traffic`).
     pub fn name(self) -> &'static str {
         match self {
             PhaseId::CreateExpander => "create-expander",
             PhaseId::Bfs => "bfs",
             PhaseId::Binarize => "binarize",
+            PhaseId::Traffic => "traffic",
         }
     }
 
@@ -69,17 +76,18 @@ impl PhaseId {
             PhaseId::CreateExpander => 0,
             PhaseId::Bfs => 1,
             PhaseId::Binarize => 2,
+            PhaseId::Traffic => 3,
         }
     }
 
     /// The event name pushed on simulated completion, or `None` when completion is
     /// judged later by a derived step (binarization completes only if the
     /// `finalize` validation accepts the tree, so its success event is pushed
-    /// there).
+    /// there; traffic outcomes live in the traffic report, not the event log).
     fn completed_event(self) -> Option<&'static str> {
         match self {
             PhaseId::CreateExpander | PhaseId::Bfs => Some(self.name()),
-            PhaseId::Binarize => None,
+            PhaseId::Binarize | PhaseId::Traffic => None,
         }
     }
 }
@@ -212,8 +220,8 @@ pub enum TransportChoice {
 /// keeps the cheap bare sends.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct PhaseOverrides {
-    budgets: [Option<RoundBudget>; 3],
-    transports: [Option<TransportChoice>; 3],
+    budgets: [Option<RoundBudget>; 4],
+    transports: [Option<TransportChoice>; 4],
 }
 
 impl PhaseOverrides {
@@ -543,6 +551,9 @@ impl PhaseRunner {
             PhaseId::CreateExpander => self.report.rounds.construction = rounds,
             PhaseId::Bfs => self.report.rounds.bfs = rounds,
             PhaseId::Binarize => self.report.rounds.finalize = rounds,
+            // Traffic rounds are an application figure, reported by the traffic
+            // layer itself; the construction round breakdown stays untouched.
+            PhaseId::Traffic => {}
         }
         self.absorb(&run.metrics);
         self.report

@@ -97,6 +97,73 @@ fn channel_backend_matches_the_classic_build_entry_point() {
     assert_same_overlay("build() vs channel", &direct, &subject);
 }
 
+/// The traffic half of the contract: the same `Router` nodes, pre-scheduled
+/// with the same workload over the simulator-built overlay, must produce
+/// identical delivery *sets* — the per-node summaries carry the exact delivery
+/// ledgers (request ids, hops, injection and arrival rounds), so equality here
+/// is stronger than matching counts.
+#[test]
+fn router_traffic_over_channel_backend_matches_the_simulator_across_seeds() {
+    use overlay_core::{ExecutedPhase, Phase, PhaseExecSpec, PhaseExecutor, PhaseId};
+    use overlay_netsim::FaultPlan;
+    use overlay_traffic::{next_hops, Router, RouterConfig, RouterSummary, Workload};
+
+    for seed in 0u64..16 {
+        let n = 32 + (seed as usize % 4) * 16; // 32, 48, 64, 80
+        let g = knowledge_graph(n, seed);
+        let overlay = builder(n, seed)
+            .build_over(&g, &mut SimExecutor::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: simulator build failed: {e}"));
+
+        // Alternate the workload shape with the seed so both the uniform and
+        // the congested hotspot traffic patterns cross the real channels.
+        let workload = if seed % 2 == 0 {
+            Workload::Uniform
+        } else {
+            Workload::Hotspot
+        };
+        let config = RouterConfig {
+            ttl: 16,
+            queue_cap: 32,
+            per_round_budget: 4,
+        };
+        let table = next_hops(&overlay.expander);
+        let schedule = workload.schedule(n, 4, 8, seed ^ 0x7AF1);
+        let routers = || -> Vec<Router> {
+            table
+                .iter()
+                .zip(&schedule)
+                .enumerate()
+                .map(|(v, (row, reqs))| Router::new(v as u32, row.clone(), reqs.clone(), config))
+                .collect()
+        };
+        let budget = (8 + 16) * 2 + 16;
+        let spec = PhaseExecSpec {
+            seed: seed.wrapping_add(PhaseId::Traffic.index() as u64),
+            ncc0_cap: 4096, // over-provisioned: congestion stays in the router queues
+            budget,
+            transport: None,
+        };
+        let phase = || Phase::from_parts(PhaseId::Traffic, routers(), budget, FaultPlan::default());
+        let model: ExecutedPhase<RouterSummary> = SimExecutor::default()
+            .execute(phase(), spec)
+            .expect("simulator traffic is infallible");
+        let mut runner = NetRunner::new(ChannelBackend::new(n));
+        let subject = runner
+            .execute(phase(), spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: channel traffic failed: {e}"));
+        assert_eq!(
+            model.summaries, subject.summaries,
+            "n={n} seed={seed}: delivery ledgers diverged"
+        );
+        assert_eq!(model.alive, subject.alive, "n={n} seed={seed}");
+        assert_eq!(model.rounds, subject.rounds, "n={n} seed={seed}");
+        assert_eq!(model.all_done, subject.all_done, "n={n} seed={seed}");
+        let delivered: usize = model.summaries.iter().map(|s| s.deliveries.len()).sum();
+        assert!(delivered > 0, "n={n} seed={seed}: nothing was delivered");
+    }
+}
+
 #[test]
 fn tcp_loopback_matches_the_simulator() {
     let n = 16;

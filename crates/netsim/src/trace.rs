@@ -202,6 +202,37 @@ pub enum TraceEvent {
         /// Whether the rebuilt tree passed well-formedness validation.
         tree_valid: bool,
     },
+    /// A traffic request entered its source's forward queue (emitted by the
+    /// traffic harness, not the simulator).
+    RequestInjected {
+        /// The traffic round the request was injected in.
+        round: usize,
+        /// The injecting source node.
+        src: NodeId,
+        /// The request's destination node.
+        dst: NodeId,
+    },
+    /// A traffic request reached its destination.
+    RequestDelivered {
+        /// The traffic round the request arrived in.
+        round: usize,
+        /// The destination that absorbed the request.
+        dst: NodeId,
+        /// Overlay edges the request traversed.
+        hops: usize,
+        /// Rounds from injection to delivery.
+        latency: usize,
+    },
+    /// A traffic request was shed: queue overflow, an unroutable destination,
+    /// or TTL expiry (aggregated per node per traffic phase).
+    RequestDropped {
+        /// The shedding node.
+        node: NodeId,
+        /// Requests shed by queue overflow or missing routes.
+        dropped: usize,
+        /// Requests aged out past their TTL.
+        expired: usize,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.

@@ -58,6 +58,11 @@
 //!                   `overlay-net` channel backend (a thread per node, frames
 //!                   over mpsc), each asserted identical to the lockstep
 //!                   simulator's build; per-backend wall-clocks are printed
+//!   --traffic-smoke run the traffic-equivalence smoke instead of sweeps: the
+//!                   clean and hotspot traffic cells route their workload over
+//!                   both the lockstep simulator and the real channel backend,
+//!                   and every per-node router summary (the exact delivery
+//!                   ledgers included) is asserted identical
 //!   SCENARIO...     registry names to run (default: the whole registry)
 //! ```
 //!
@@ -96,6 +101,7 @@ struct Options {
     scaling: bool,
     max_n: usize,
     net_smoke: bool,
+    traffic_smoke: bool,
     names: Vec<String>,
 }
 
@@ -118,6 +124,7 @@ fn parse_args() -> Result<Options, String> {
         scaling: false,
         max_n: 65536,
         net_smoke: false,
+        traffic_smoke: false,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -158,6 +165,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--scaling" => opts.scaling = true,
             "--net-smoke" => opts.net_smoke = true,
+            "--traffic-smoke" => opts.traffic_smoke = true,
             "--max-n" => {
                 opts.max_n = value("--max-n")?
                     .parse()
@@ -169,7 +177,7 @@ fn parse_args() -> Result<Options, String> {
                             [--check] [--full] [--compare [--no-run] [--write-thresholds]] \
                             [--trace NAME [--seed S]] [--explain] [--list] [--tag T] \
                             [--par-threshold N] [--scaling [--max-n N]] [--net-smoke] \
-                            [SCENARIO...]"
+                            [--traffic-smoke] [SCENARIO...]"
                         .into(),
                 )
             }
@@ -396,16 +404,18 @@ fn run_scaling(opts: &Options) -> ExitCode {
     let mut measured = Vec::with_capacity(cells.len());
     for scenario in &cells {
         let cell = scaling::run_cell(scenario, opts.seed, min_nodes);
-        println!(
-            "{:<36} n={:<6} rounds={:<4} success={} serial={:.2?} parallel={:.2?}{}",
-            cell.name,
-            cell.n,
-            cell.rounds,
-            cell.success,
-            cell.serial_wall,
-            cell.parallel_wall,
+        // The speedup figure is only printed when a spare core gives the
+        // serial/parallel ratio its meaning; single-core machines get the
+        // caveat instead of a number that would misread as a parallelism claim.
+        let speedup = if machine.has_spare_cores() {
             cell.speedup()
-                .map_or(String::new(), |s| format!(" speedup={s:.2}x")),
+                .map_or(String::new(), |s| format!(" speedup={s:.2}x"))
+        } else {
+            " (single core: overhead, not speedup)".to_string()
+        };
+        println!(
+            "{:<36} n={:<6} rounds={:<4} success={} serial={:.2?} parallel={:.2?}{speedup}",
+            cell.name, cell.n, cell.rounds, cell.success, cell.serial_wall, cell.parallel_wall,
         );
         measured.push(cell);
     }
@@ -489,6 +499,69 @@ fn run_net_smoke() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--traffic-smoke`: the workload half of `overlay-net`'s "simulator as
+/// model" contract. The clean and hotspot traffic cells build their overlay
+/// under the simulator, then run the same pre-scheduled router workload over
+/// both the lockstep simulator and the real channel backend (a thread per
+/// router node, frames over mpsc). The per-node summaries carry the exact
+/// delivery ledgers — ids, hops, injection and arrival rounds — so asserting
+/// them identical pins the delivery *sets*, not just the counts.
+fn run_traffic_smoke() -> ExitCode {
+    use overlay_core::SimExecutor;
+    use overlay_net::{ChannelBackend, NetRunner};
+
+    for (name, seed) in [("traffic-uniform", 3u64), ("traffic-hotspot", 11)] {
+        let scenario = registry()
+            .find(name)
+            .expect("traffic smoke cell registered")
+            .clone();
+        let sim_started = std::time::Instant::now();
+        let sim = match scenario.traffic_summaries(seed, &mut SimExecutor::default()) {
+            Some(Ok(phase)) => phase,
+            Some(Err(e)) => {
+                eprintln!("--traffic-smoke: simulator traffic failed for {name} seed={seed}: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("--traffic-smoke: construction failed for {name} seed={seed}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sim_wall = sim_started.elapsed();
+        let net_started = std::time::Instant::now();
+        let mut runner = NetRunner::new(ChannelBackend::new(scenario.actual_n()));
+        let net = match scenario.traffic_summaries(seed, &mut runner) {
+            Some(Ok(phase)) => phase,
+            Some(Err(e)) => {
+                eprintln!("--traffic-smoke: channel traffic failed for {name} seed={seed}: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("--traffic-smoke: construction failed for {name} seed={seed}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let net_wall = net_started.elapsed();
+        let delivered: usize = sim.summaries.iter().map(|s| s.deliveries.len()).sum();
+        let injected: u32 = sim.summaries.iter().map(|s| s.injected).sum();
+        let same = sim.summaries == net.summaries
+            && sim.alive == net.alive
+            && sim.rounds == net.rounds
+            && sim.all_done == net.all_done;
+        println!(
+            "traffic-smoke {name:<16} seed={seed:<3} rounds={:<4} injected={injected:<5} delivered={delivered:<5} sim={sim_wall:.2?} channel={net_wall:.2?} identical={same}",
+            sim.rounds,
+        );
+        if !same {
+            eprintln!(
+                "--traffic-smoke: channel backend diverged from the simulator ({name} seed={seed})"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -509,6 +582,9 @@ fn main() -> ExitCode {
     }
     if opts.net_smoke {
         return run_net_smoke();
+    }
+    if opts.traffic_smoke {
+        return run_traffic_smoke();
     }
     if opts.no_run {
         return compare_committed(&opts);

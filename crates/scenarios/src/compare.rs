@@ -39,6 +39,23 @@ pub struct PairDelta {
     pub delivered: (f64, f64),
     /// Total transport retransmissions across the sweep, baseline then twin.
     pub retransmits: (u64, u64),
+    /// Traffic-phase deltas, present only when *both* sides of the pair carry
+    /// a workload — the latency columns of `sweep_runner --compare` come from
+    /// here and are omitted entirely for classic construction pairs.
+    pub traffic: Option<TrafficDeltas>,
+}
+
+/// The traffic-phase columns of a `(baseline, twin)` couple that both route a
+/// workload: what the variant bought in delivered requests, and what it cost
+/// in rounds-to-delivery.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficDeltas {
+    /// Mean delivered fraction, baseline then twin (fractions in `[0, 1]`).
+    pub delivered_fraction: (f64, f64),
+    /// Mean per-seed median rounds-to-delivery, baseline then twin.
+    pub latency_p50: (f64, f64),
+    /// Mean per-seed 99th-percentile rounds-to-delivery, baseline then twin.
+    pub latency_p99: (f64, f64),
 }
 
 impl PairDelta {
@@ -57,6 +74,16 @@ impl PairDelta {
             rounds: (base.mean_rounds(), twin.mean_rounds()),
             delivered: (base.mean_delivered(), twin.mean_delivered()),
             retransmits: (base.total_retransmits(), twin.total_retransmits()),
+            traffic: (base.scenario.traffic.is_some() && twin.scenario.traffic.is_some()).then(
+                || TrafficDeltas {
+                    delivered_fraction: (
+                        base.mean_delivered_fraction(),
+                        twin.mean_delivered_fraction(),
+                    ),
+                    latency_p50: (base.mean_latency_p50(), twin.mean_latency_p50()),
+                    latency_p99: (base.mean_latency_p99(), twin.mean_latency_p99()),
+                },
+            ),
         }
     }
 
@@ -92,6 +119,32 @@ impl PairDelta {
         };
         let b = headline(base)?;
         let t = headline(twin)?;
+        // The traffic columns exist only when both committed headers carry the
+        // (conditional) traffic object; a written traffic header always has
+        // all three aggregates, so a missing one is a malformed document.
+        let traffic_side = |doc: &Json| -> Result<Option<(f64, f64, f64)>, String> {
+            let Some(header) = field(doc, "traffic") else {
+                return Ok(None);
+            };
+            let name = scenario(doc, "report")?;
+            let get = |key: &str| {
+                num_field(header, key)
+                    .ok_or_else(|| format!("{name}: traffic header missing \"{key}\""))
+            };
+            Ok(Some((
+                get("mean_delivered_fraction")?,
+                get("mean_latency_p50")?,
+                get("mean_latency_p99")?,
+            )))
+        };
+        let traffic = match (traffic_side(base)?, traffic_side(twin)?) {
+            (Some(tb), Some(tt)) => Some(TrafficDeltas {
+                delivered_fraction: (tb.0, tt.0),
+                latency_p50: (tb.1, tt.1),
+                latency_p99: (tb.2, tt.2),
+            }),
+            _ => None,
+        };
         Ok(PairDelta {
             baseline: scenario(base, "baseline")?,
             twin: scenario(twin, "twin")?,
@@ -101,6 +154,7 @@ impl PairDelta {
             rounds: (b.2, t.2),
             delivered: (b.3, t.3),
             retransmits: (b.4, t.4),
+            traffic,
         })
     }
 }
@@ -167,6 +221,34 @@ pub fn render_table(deltas: &[PairDelta]) -> String {
             d.retransmits.0,
             d.retransmits.1,
         ));
+    }
+    // Traffic pairs get a second table with the latency columns; pairs
+    // without a workload never appear in it, and a pair set without any
+    // traffic couple renders exactly the historical single table.
+    let traffic: Vec<(&PairDelta, &TrafficDeltas)> = deltas
+        .iter()
+        .filter_map(|d| d.traffic.as_ref().map(|t| (d, t)))
+        .collect();
+    if !traffic.is_empty() {
+        out.push_str(
+            "\n### Traffic\n\n\
+             | baseline | twin | delivered | latency p50 | latency p99 |\n\
+             |---|---|---|---|---|\n",
+        );
+        for (d, t) in traffic {
+            out.push_str(&format!(
+                "| {} | {} | {:.1}% → {:.1}% | {:.1} → {:.1} | {:.1} → {:.1} ({:+.1}) |\n",
+                d.baseline,
+                d.twin,
+                100.0 * t.delivered_fraction.0,
+                100.0 * t.delivered_fraction.1,
+                t.latency_p50.0,
+                t.latency_p50.1,
+                t.latency_p99.0,
+                t.latency_p99.1,
+                t.latency_p99.1 - t.latency_p99.0,
+            ));
+        }
     }
     out
 }
@@ -386,6 +468,42 @@ mod tests {
             &live.axis,
         )
         .expect("written reports carry every headline field");
+        assert_eq!(committed, live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traffic_columns_exist_only_for_traffic_pairs_and_survive_committing() {
+        // A classic construction pair has no traffic section, live or rendered.
+        let classic = lossy_pair_delta(2);
+        assert!(classic.traffic.is_none());
+        assert!(!render_table(std::slice::from_ref(&classic)).contains("### Traffic"));
+
+        let (base, twin) = registry()
+            .pairs()
+            .find(|(_, t)| t.name == "traffic-uniform-tree")
+            .expect("traffic pair registered");
+        let base_report = Sweep::over_seeds(base.clone(), 0, 2).run();
+        let twin_report = Sweep::over_seeds(twin.clone(), 0, 2).run();
+        let live = PairDelta::from_reports(&base_report, &twin_report);
+        let t = live.traffic.expect("both sides route a workload");
+        assert!(t.delivered_fraction.0 > 0.0);
+        let table = render_table(std::slice::from_ref(&live));
+        assert!(table.contains("### Traffic"), "{table}");
+        assert!(table.contains("| traffic-uniform | traffic-uniform-tree |"));
+
+        // --compare --no-run reproduces the live traffic columns from the
+        // committed report headers.
+        let dir = std::env::temp_dir().join(format!("overlay-traffic-cmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base_path = crate::report::write_report(&base_report, &dir).unwrap();
+        let twin_path = crate::report::write_report(&twin_report, &dir).unwrap();
+        let committed = PairDelta::from_committed(
+            &crate::report::load_report(&base_path).unwrap(),
+            &crate::report::load_report(&twin_path).unwrap(),
+            &live.axis,
+        )
+        .expect("committed traffic headers carry the aggregates");
         assert_eq!(committed, live);
         let _ = std::fs::remove_dir_all(&dir);
     }

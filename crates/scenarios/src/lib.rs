@@ -70,15 +70,18 @@ mod scenario;
 mod sweep;
 pub mod trace;
 
-pub use compare::{check_thresholds, load_thresholds, write_thresholds, PairDelta, PairThreshold};
+pub use compare::{
+    check_thresholds, load_thresholds, write_thresholds, PairDelta, PairThreshold, TrafficDeltas,
+};
 pub use forensics::{post_mortem, MissingCause, MissingNode, PostMortem};
 pub use json::Json;
 pub use overlay_core::{PhaseId, PhaseMetrics, PhaseOverrides, RoundBudget, TransportChoice};
 pub use overlay_netsim::{ChurnSchedule, CrashBurst};
 pub use overlay_netsim::{MetricsMode, ParallelismConfig, TraceEvent, TransportConfig};
+pub use overlay_traffic::{RoutingPolicy, TrafficReport, Workload};
 pub use registry::{find, full_registry, registry, Registry, RegistryError};
 pub use scenario::{
     CapacityProfile, FaultSpec, ForensicRun, GraphFamily, RunRecord, Scenario, ServeRecord,
-    ServeSpec, VariantAxis,
+    ServeSpec, TrafficRecord, TrafficSpec, VariantAxis,
 };
 pub use sweep::{Sweep, SweepReport};

@@ -9,10 +9,13 @@
 //! [`Scenario::with_phases`]), so adding a matrix cell is one derivation line,
 //! not a copy-pasted struct.
 
-use crate::scenario::{CapacityProfile, FaultSpec, GraphFamily, Scenario, ServeSpec, VariantAxis};
+use crate::scenario::{
+    CapacityProfile, FaultSpec, GraphFamily, Scenario, ServeSpec, TrafficSpec, VariantAxis,
+};
 use overlay_core::{PhaseId, PhaseOverrides, RoundBudget, TransportChoice};
 use overlay_netsim::{CrashBurst, TransportConfig};
-use std::collections::HashMap;
+use overlay_traffic::{RoutingPolicy, Workload};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -248,6 +251,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
     let same_phases = twin.phases == base.phases;
     let same_percent = twin.round_budget.as_percent() == base.round_budget.as_percent();
     let same_budget = twin.round_budget == base.round_budget;
+    let same_traffic = twin.traffic == base.traffic;
     match axis {
         VariantAxis::Transport => {
             require(same_family, "transport twin changed the graph family");
@@ -255,6 +259,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_capacity, "transport twin changed the capacity profile");
             require(same_faults, "transport twin changed the fault load");
             require(same_serve, "transport twin changed the serve spec");
+            require(same_traffic, "transport twin changed the traffic spec");
             require(same_phases, "transport twin changed the phase overrides");
             require(
                 same_percent,
@@ -271,6 +276,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_capacity, "size twin changed the capacity profile");
             require(same_faults, "size twin changed the fault load");
             require(same_serve, "size twin changed the serve spec");
+            require(same_traffic, "size twin changed the traffic spec");
             require(same_transport, "size twin changed the transport");
             require(same_phases, "size twin changed the phase overrides");
             require(same_budget, "size twin changed the round budget");
@@ -281,6 +287,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_n, "capacity twin changed n");
             require(same_faults, "capacity twin changed the fault load");
             require(same_serve, "capacity twin changed the serve spec");
+            require(same_traffic, "capacity twin changed the traffic spec");
             require(same_transport, "capacity twin changed the transport");
             require(same_phases, "capacity twin changed the phase overrides");
             require(same_budget, "capacity twin changed the round budget");
@@ -295,6 +302,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
             require(same_capacity, "phase twin changed the capacity profile");
             require(same_faults, "phase twin changed the fault load");
             require(same_serve, "phase twin changed the serve spec");
+            require(same_traffic, "phase twin changed the traffic spec");
             require(
                 same_transport,
                 "phase twin changed the scenario-wide transport",
@@ -317,6 +325,7 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
                 "maintenance twin changed the capacity profile",
             );
             require(same_faults, "maintenance twin changed the fault load");
+            require(same_traffic, "maintenance twin changed the traffic spec");
             require(same_transport, "maintenance twin changed the transport");
             require(same_phases, "maintenance twin changed the phase overrides");
             require(same_budget, "maintenance twin changed the round budget");
@@ -336,6 +345,24 @@ fn validate_axis(base: &Scenario, twin: &Scenario, axis: VariantAxis) -> Result<
                 }
                 _ => require(false, "maintenance twin needs serve specs on both sides"),
             }
+        }
+        VariantAxis::Traffic => {
+            require(same_family, "traffic twin changed the graph family");
+            require(same_n, "traffic twin changed n");
+            require(same_capacity, "traffic twin changed the capacity profile");
+            require(same_faults, "traffic twin changed the fault load");
+            require(same_serve, "traffic twin changed the serve spec");
+            require(same_transport, "traffic twin changed the transport");
+            require(same_phases, "traffic twin changed the phase overrides");
+            require(same_budget, "traffic twin changed the round budget");
+            require(
+                base.traffic.is_some() && twin.traffic.is_some(),
+                "traffic twin needs traffic specs on both sides",
+            );
+            require(
+                !same_traffic,
+                "traffic twin does not change the traffic spec",
+            );
         }
     }
     if problems.is_empty() {
@@ -507,6 +534,47 @@ fn baselines() -> Vec<Scenario> {
             }),
             ..ServeSpec::joins(100, 25, 0.08)
         }),
+        // ---- The traffic-* family: workloads over the finished overlay ----
+        // Construction is the prologue; the experiment is the request
+        // workload the finished overlay carries (see `overlay-traffic`).
+        // Sizes are modest (n = 64) because the router phase simulates
+        // every request hop-by-hop over the constructed edges.
+        Scenario::new(
+            "traffic-uniform",
+            "Traffic baseline: uniform all-to-all requests greedily routed \
+             over the finished clean expander — the p99 hop count witnesses \
+             the O(log n) diameter of the constructed overlay",
+            GraphFamily::RandomRegular { degree: 4 },
+            64,
+        )
+        .with_traffic(TrafficSpec::new(Workload::Uniform)),
+        Scenario::new(
+            "traffic-zipf-lossy",
+            "Zipf(1.1)-skewed requests with 2% message loss scoped to the \
+             traffic phase (construction stays clean): documents how many \
+             requests a bare overlay sheds in flight — its -reliable twin \
+             buys the deliveries back with retransmission latency",
+            GraphFamily::RandomRegular { degree: 4 },
+            64,
+        )
+        .with_traffic(TrafficSpec {
+            loss: 0.02,
+            ..TrafficSpec::new(Workload::Zipf { exponent: 1.1 })
+        }),
+        Scenario::new(
+            "traffic-serve-churn",
+            "Traffic-during-serve baseline: a uniform request wave rides the \
+             overlay after every maintenance epoch while continuous joins \
+             (0.1/round) churn the membership, with re-invitation on — \
+             measures sustained delivered fraction across churn+repair epochs",
+            GraphFamily::Cycle,
+            48,
+        )
+        .with_serve(ServeSpec {
+            reinvite: true,
+            ..ServeSpec::joins(30, 25, 0.1)
+        })
+        .with_traffic(TrafficSpec::new(Workload::Uniform)),
     ]
 }
 
@@ -671,6 +739,77 @@ pub fn registry() -> &'static Registry {
         // from reliability, so the serve metrics should match the baseline's
         // while the ack overhead appears in the message columns.
         all.push(s("serve-crash").reliable(TransportConfig::default(), 12));
+        // ---- Traffic twins --------------------------------------------
+        // The routing-policy pair: the same uniform workload over the
+        // binarized tree instead of the expander. Tree routing funnels
+        // every cross-subtree request through the root, so its p99 hops
+        // and max edge load bound what expander routing buys.
+        all.push(s("traffic-uniform").with_traffic_axis(
+            "tree",
+            TrafficSpec {
+                policy: RoutingPolicy::Tree,
+                ..TrafficSpec::new(Workload::Uniform)
+            },
+        ));
+        // Workload-shape twins live in the flat traffic-* namespace. The
+        // hotspot cell is the congestion witness: every request targets one
+        // seeded focus node, so the constant-degree overlay must carry the
+        // whole workload over the focus's few incident edges.
+        all.push(
+            s("traffic-uniform")
+                .with_traffic_axis("hotspot", TrafficSpec::new(Workload::Hotspot))
+                .renamed("traffic-hotspot")
+                .describe(
+                    "Twin of traffic-uniform with every request aimed at one \
+                     seeded focus node: the constant-degree overlay funnels \
+                     the whole workload through the focus's few incident \
+                     edges, so max edge load and TTL expiry document the \
+                     congestion collapse mode",
+                ),
+        );
+        all.push(
+            s("traffic-uniform")
+                .with_traffic_axis(
+                    "flash",
+                    TrafficSpec::new(Workload::FlashCrowd {
+                        burst_at: 4,
+                        burst_len: 2,
+                    }),
+                )
+                .renamed("traffic-flash")
+                .describe(
+                    "Twin of traffic-uniform with the whole request volume \
+                     compressed into a 2-round flash crowd: same total load, \
+                     bursty arrival — queue depth absorbs the spike and the \
+                     latency tail pays for it",
+                ),
+        );
+        // The lossy traffic cell's transport twin: retransmission recovers
+        // the 2% per-hop losses, trading delivered % up for latency.
+        all.push(s("traffic-zipf-lossy").reliable(TransportConfig::default(), 12));
+        // ---- Automatic lossy × capacity crossing ----------------------
+        // Capacity pressure is itself a message-loss mechanism (the receive
+        // cap sheds overflow), so every hand-authored lossy construction
+        // baseline is crossed with every non-standard capacity profile
+        // mechanically instead of hand-listing cells. A hand-authored cell
+        // that already occupies a crossing name (lossy-ncc0-generous, kept
+        // verbatim above for its committed report header) wins the slot.
+        let taken: BTreeSet<String> = all.iter().map(|sc| sc.name.clone()).collect();
+        for b in baselines() {
+            let lossy = matches!(
+                b.faults,
+                FaultSpec::Lossy { .. } | FaultSpec::CrashThenLoss { .. }
+            );
+            if !lossy || b.serve.is_some() || b.traffic.is_some() {
+                continue;
+            }
+            for profile in [CapacityProfile::Tight, CapacityProfile::Generous] {
+                let twin = b.with_capacity(profile).with_tag("matrix");
+                if !taken.contains(&twin.name) {
+                    all.push(twin);
+                }
+            }
+        }
         Registry::new(all).expect("built-in scenario matrix is valid")
     })
 }
@@ -727,9 +866,38 @@ mod tests {
             "lossy-ncc0-binarize-reliable",
             "crash-then-loss",
             "crash-then-loss-reliable",
+            "traffic-uniform",
+            "traffic-uniform-tree",
+            "traffic-hotspot",
+            "traffic-flash",
+            "traffic-zipf-lossy",
+            "traffic-zipf-lossy-reliable",
+            "traffic-serve-churn",
         ] {
             assert!(reg.find(name).is_some(), "{name} missing");
         }
+    }
+
+    #[test]
+    fn lossy_capacity_crossing_is_complete_and_respects_hand_authored_cells() {
+        // Every hand-authored lossy construction baseline must have both
+        // capacity crossings, derived or hand-authored — the mechanical loop
+        // keeps the matrix complete without hand-listing cells.
+        let reg = registry();
+        for base in ["lossy-ncc0", "lossy-ncc0-heavy", "crash-then-loss"] {
+            for profile in ["tight", "generous"] {
+                let name = format!("{base}-{profile}");
+                let twin = reg.find(&name).unwrap_or_else(|| panic!("{name} missing"));
+                assert_eq!(twin.baseline.as_deref(), Some(base));
+                assert_eq!(twin.axis, Some(VariantAxis::Capacity));
+            }
+        }
+        // The hand-authored generous cell won its slot: exactly one entry.
+        let count = reg
+            .into_iter()
+            .filter(|sc| sc.name == "lossy-ncc0-generous")
+            .count();
+        assert_eq!(count, 1);
     }
 
     #[test]
@@ -795,7 +963,12 @@ mod tests {
                 .iter()
                 .map(|s| s.name.as_str())
                 .collect::<Vec<_>>(),
-            vec!["crash-then-loss", "crash-then-loss-reliable"],
+            vec![
+                "crash-then-loss",
+                "crash-then-loss-reliable",
+                "crash-then-loss-tight",
+                "crash-then-loss-generous",
+            ],
         );
     }
 

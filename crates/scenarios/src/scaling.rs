@@ -49,6 +49,14 @@ impl MachineInfo {
             arch: std::env::consts::ARCH,
         }
     }
+
+    /// Whether the machine has cores beyond the first. A serial-vs-parallel
+    /// wall-clock ratio is only a *speedup* when there is a spare core to run
+    /// the parallel path on; on a single core it measures sharding overhead,
+    /// so the scaling report gates its speedup column behind this.
+    pub fn has_spare_cores(&self) -> bool {
+        self.available_parallelism > 1
+    }
 }
 
 /// One measured cell of the scaling sweep: a `(scenario, n)` point with its
@@ -169,14 +177,26 @@ pub fn render_markdown(machine: &MachineInfo, cells: &[ScalingCell]) -> String {
     ));
     out.push_str(&format!("- rayon workers: {}\n\n", machine.workers));
     out.push_str("## Cells\n\n");
-    out.push_str(
-        "| scenario | n | rounds | rounds/⌈log₂ n⌉ | success | delivered | serial wall | parallel wall | speedup |\n",
-    );
-    out.push_str("|---|---:|---:|---:|---|---:|---:|---:|---:|\n");
+    // The speedup column only appears when a spare core exists to give the
+    // ratio its meaning; on a single core the serial/parallel pair still
+    // documents the sharded path's overhead, but labeling it "speedup" would
+    // misread as a parallelism claim.
+    let speedups = machine.has_spare_cores();
+    if speedups {
+        out.push_str(
+            "| scenario | n | rounds | rounds/⌈log₂ n⌉ | success | delivered | serial wall | parallel wall | speedup |\n",
+        );
+        out.push_str("|---|---:|---:|---:|---|---:|---:|---:|---:|\n");
+    } else {
+        out.push_str(
+            "| scenario | n | rounds | rounds/⌈log₂ n⌉ | success | delivered | serial wall | parallel wall |\n",
+        );
+        out.push_str("|---|---:|---:|---:|---|---:|---:|---:|\n");
+    }
     for cell in cells {
         let log_n = log2_ceil(cell.n).max(1);
         out.push_str(&format!(
-            "| {} | {} | {} | {:.1} | {} | {} | {:.2?} | {:.2?} | {} |\n",
+            "| {} | {} | {} | {:.1} | {} | {} | {:.2?} | {:.2?} |",
             cell.name,
             cell.n,
             cell.rounds,
@@ -185,9 +205,15 @@ pub fn render_markdown(machine: &MachineInfo, cells: &[ScalingCell]) -> String {
             cell.delivered,
             cell.serial_wall,
             cell.parallel_wall,
-            cell.speedup()
-                .map_or("-".to_string(), |s| format!("{s:.2}x")),
         ));
+        if speedups {
+            out.push_str(&format!(
+                " {} |",
+                cell.speedup()
+                    .map_or("-".to_string(), |s| format!("{s:.2}x")),
+            ));
+        }
+        out.push('\n');
     }
     out.push('\n');
     out.push_str("## Interpretation\n\n");
@@ -197,15 +223,16 @@ pub fn render_markdown(machine: &MachineInfo, cells: &[ScalingCell]) -> String {
          wall-clock per cell then scales as `rounds × (work per round)`, and the\n\
          work per round is what within-round parallelism divides across cores.\n\n",
     );
-    if machine.available_parallelism <= 1 {
+    if !machine.has_spare_cores() {
         out.push_str(
             "**This machine exposes a single core**, so the parallel path cannot\n\
              produce a wall-clock speedup here: rayon sizes its pool to the one\n\
              available core (unless `RAYON_NUM_THREADS` forces more, which only\n\
-             adds scheduling overhead on one core). The speedup column therefore\n\
-             measures the parallel path's overhead, not its benefit; the bitwise\n\
-             identity assertion still exercises the sharded code path end to end.\n\
-             Re-run `sweep_runner --scaling` on a multi-core machine for a real\n\
+             adds scheduling overhead on one core). The speedup column is\n\
+             therefore omitted — the serial/parallel wall-clock pair measures\n\
+             the sharded path's overhead, not its benefit; the bitwise identity\n\
+             assertion still exercises that code path end to end. Re-run\n\
+             `sweep_runner --scaling` on a multi-core machine for a real\n\
              speedup measurement.\n",
         );
     } else {
@@ -262,6 +289,32 @@ mod tests {
         assert!(text.contains("clean-line"));
         assert!(text.contains("rounds/⌈log₂ n⌉"));
         assert!(text.contains("## Interpretation"));
+    }
+
+    #[test]
+    fn speedup_column_is_gated_behind_spare_cores() {
+        let scenario = crate::find("clean-line").expect("registered");
+        let cell = run_cell(&scenario, 0, 0);
+        let single = MachineInfo {
+            available_parallelism: 1,
+            rayon_env: None,
+            workers: 1,
+            os: "linux",
+            arch: "x86_64",
+        };
+        let multi = MachineInfo {
+            available_parallelism: 8,
+            workers: 8,
+            ..single.clone()
+        };
+        assert!(!single.has_spare_cores());
+        assert!(multi.has_spare_cores());
+        let single_text = render_markdown(&single, std::slice::from_ref(&cell));
+        assert!(!single_text.contains("speedup |"), "{single_text}");
+        assert!(single_text.contains("single core"), "{single_text}");
+        let multi_text = render_markdown(&multi, &[cell]);
+        assert!(multi_text.contains("| speedup |"), "{multi_text}");
+        assert!(!multi_text.contains("single core"), "{multi_text}");
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The declarative scenario type and its lowering into concrete runs.
 
 use overlay_core::{
-    BuildReport, ExpanderNode, ExpanderParams, MaintenanceConfig, MaintenanceRunner,
-    OverlayBuilder, PhaseId, PhaseOverrides, RoundBudget, TransportChoice,
+    BuildReport, ExecutedPhase, ExpanderNode, ExpanderParams, MaintenanceConfig, MaintenanceRunner,
+    OverlayBuilder, OverlayResult, Phase, PhaseExecSpec, PhaseExecutor, PhaseId, PhaseOverrides,
+    RoundBudget, SimExecutor, TransportChoice,
 };
-use overlay_graph::{generators, DiGraph, NodeId};
+use overlay_graph::{generators, DiGraph, NodeId, UGraph};
 use overlay_netsim::{
     ChurnSchedule, CrashBurst, FaultPlan, MetricsMode, ParallelismConfig, SharedTraceSink,
     TraceBuffer, TraceEvent, TransportConfig,
+};
+use overlay_traffic::{
+    next_hops, Router, RouterConfig, RouterSummary, RoutingPolicy, TrafficReport, TrafficTally,
+    Workload,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -281,6 +286,80 @@ impl ServeSpec {
     }
 }
 
+/// XOR salt separating the traffic workload's RNG stream from every other
+/// per-run stream (graph build, fault lowering, maintenance, churn).
+const TRAFFIC_WORKLOAD_SALT: u64 = 0x7AF1_C5EE_D5EE_D700;
+
+/// The traffic phase of a `traffic-*` scenario: after construction succeeds
+/// (and, on serving cells, after every maintenance epoch), a seeded request
+/// [`Workload`] is routed over the finished overlay's edges by
+/// [`overlay_traffic::Router`] nodes, and the latency/congestion outcome lands
+/// in the run's [`TrafficRecord`].
+///
+/// The workload is fully pre-scheduled harness-side and the router draws no
+/// mid-round randomness, so a traffic run stays a pure function of
+/// `(scenario, seed)` — and bitwise identical across the simulator and the
+/// `overlay-net` thread backends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficSpec {
+    /// Who talks to whom, and when.
+    pub workload: Workload,
+    /// Which edge set requests ride over: the expander (greedy shortest-path)
+    /// or the binarized tree (the compare policy).
+    pub policy: RoutingPolicy,
+    /// Requests each source schedules over the injection horizon.
+    pub requests_per_node: u32,
+    /// Injection horizon in rounds (requests land in `1..=horizon`).
+    pub horizon: u32,
+    /// Rounds a packet may age before the holding router expires it.
+    pub ttl: u32,
+    /// Per-node forward-queue capacity; overflow is shed as dropped.
+    pub queue_cap: u32,
+    /// Forwards per node per round — the router's own send discipline. The
+    /// phase's NCC0 cap is provisioned *above* the worst-case receive load
+    /// this budget implies, so congestion always manifests in the router's
+    /// deterministic queue, never in the capacity model's seeded eviction.
+    pub per_round_budget: u32,
+    /// Per-message drop probability applied to the traffic phase only (the
+    /// construction keeps the scenario's own fault load). A `-reliable`
+    /// transport twin recovers these losses with retransmissions.
+    pub loss: f64,
+}
+
+impl TrafficSpec {
+    /// A traffic phase with the given workload and the default pressure knobs:
+    /// greedy routing, 4 requests per node over a 16-round horizon, TTL 32,
+    /// queue capacity 64, 4 forwards per round, no loss.
+    pub fn new(workload: Workload) -> Self {
+        TrafficSpec {
+            workload,
+            policy: RoutingPolicy::Greedy,
+            requests_per_node: 4,
+            horizon: 16,
+            ttl: 32,
+            queue_cap: 64,
+            per_round_budget: 4,
+            loss: 0.0,
+        }
+    }
+
+    /// The router tunables this spec lowers to.
+    fn router_config(&self) -> RouterConfig {
+        RouterConfig {
+            ttl: self.ttl,
+            queue_cap: self.queue_cap,
+            per_round_budget: self.per_round_budget,
+        }
+    }
+
+    /// Round budget for one traffic wave: every packet dies (delivered or
+    /// expired) by `horizon + ttl`, doubled plus slack for transport-layer
+    /// retransmission chains under loss.
+    fn round_budget(&self) -> usize {
+        (self.horizon as usize + self.ttl as usize) * 2 + 16
+    }
+}
+
 /// Rounds of the construction phase (the schedule faults are positioned against).
 fn construction_rounds(params: &ExpanderParams) -> usize {
     ExpanderNode::total_rounds(params)
@@ -310,6 +389,75 @@ fn phase_suffix(overrides: &PhaseOverrides) -> String {
         }
     }
     suffix
+}
+
+/// The seed one traffic wave's workload schedule is drawn from: the run seed
+/// behind its own salt, stepped per wave so every maintenance epoch of a
+/// serving traffic cell sees fresh (but reproducible) request pairs.
+fn traffic_workload_seed(seed: u64, salt: u64) -> u64 {
+    (seed ^ TRAFFIC_WORKLOAD_SALT).wrapping_add(salt)
+}
+
+/// The edge set a traffic policy routes over: the constructed expander for
+/// greedy routing, the binarized tree for the compare policy.
+fn routing_graph(policy: RoutingPolicy, result: &OverlayResult) -> UGraph {
+    match policy {
+        RoutingPolicy::Greedy => result.expander.clone(),
+        RoutingPolicy::Tree => result.tree.to_ugraph(),
+    }
+}
+
+/// Emits one traffic wave's structured events: the injections from the
+/// (recomputed, deterministic) schedule, then each node's deliveries and a
+/// per-node drop/expiry rollup. Emission happens after the wave executes, so
+/// tracing cannot perturb the run.
+fn emit_traffic_trace(
+    sink: &SharedTraceSink,
+    spec: &TrafficSpec,
+    n: usize,
+    workload_seed: u64,
+    run: &ExecutedPhase<RouterSummary>,
+) {
+    let mut sink = sink.borrow_mut();
+    sink.record(TraceEvent::PhaseStart {
+        phase: PhaseId::Traffic.name(),
+    });
+    if n >= 2 {
+        let schedule =
+            spec.workload
+                .schedule(n, spec.requests_per_node, spec.horizon, workload_seed);
+        for (src, reqs) in schedule.iter().enumerate() {
+            for r in reqs {
+                sink.record(TraceEvent::RequestInjected {
+                    round: r.round as usize,
+                    src: NodeId::from(src),
+                    dst: NodeId::from(r.dst as usize),
+                });
+            }
+        }
+    }
+    for (node, s) in run.summaries.iter().enumerate() {
+        for d in &s.deliveries {
+            sink.record(TraceEvent::RequestDelivered {
+                round: d.delivered as usize,
+                dst: NodeId::from(node),
+                hops: d.hops as usize,
+                latency: (d.delivered - d.injected) as usize,
+            });
+        }
+        if !s.dropped.is_empty() || !s.expired.is_empty() {
+            sink.record(TraceEvent::RequestDropped {
+                node: NodeId::from(node),
+                dropped: s.dropped.len(),
+                expired: s.expired.len(),
+            });
+        }
+    }
+    sink.record(TraceEvent::PhaseEnd {
+        phase: PhaseId::Traffic.name(),
+        rounds: run.rounds,
+        completed: run.all_done,
+    });
 }
 
 /// A seeded random subset of `⌊fraction · n⌋` nodes, excluding node 0 (keeping at
@@ -345,6 +493,10 @@ pub enum VariantAxis {
     /// phase of a serving baseline (everything else, including the churn
     /// process, identical).
     Maintenance,
+    /// The twin changes only the traffic spec of a traffic-carrying baseline
+    /// (workload shape, routing policy, or pressure knobs — everything else,
+    /// including the constructed overlay, identical).
+    Traffic,
 }
 
 impl VariantAxis {
@@ -356,6 +508,7 @@ impl VariantAxis {
             VariantAxis::Capacity => "capacity",
             VariantAxis::Phases => "phases",
             VariantAxis::Maintenance => "maintenance",
+            VariantAxis::Traffic => "traffic",
         }
     }
 }
@@ -388,6 +541,13 @@ pub struct Scenario {
     /// build-once setting; committed pre-serve reports are untouched because
     /// every serve field is serialized conditionally.
     pub serve: Option<ServeSpec>,
+    /// When set, the scenario is a `traffic-*` cell: after construction (and,
+    /// when combined with [`serve`](Scenario::serve), after every maintenance
+    /// epoch) the finished overlay carries the spec's request workload, and
+    /// the run's [`RunRecord`] gains a [`TrafficRecord`]. `None` is the
+    /// build-only setting; committed pre-traffic reports are untouched because
+    /// every traffic field is serialized conditionally.
+    pub traffic: Option<TrafficSpec>,
     /// The per-phase round-budget multiplier the pipeline runs under. Faulty
     /// scenarios whose fault model legitimately stretches wall-rounds (delivery
     /// jitter, late joins) declare extra allowance here instead of being judged
@@ -483,6 +643,11 @@ pub struct RunRecord {
     /// build-once cells). Present on every seed of a serve cell — a run whose
     /// construction failed carries the zeroed record (nothing was served).
     pub serve: Option<ServeRecord>,
+    /// The traffic-phase outcome of a traffic-carrying scenario (`None` for
+    /// build-only cells). Present on every seed of a traffic cell — a run
+    /// whose construction failed carries the zeroed record (nothing was
+    /// routed).
+    pub traffic: Option<TrafficRecord>,
 }
 
 /// The per-seed service-level outcome of a serve scenario's maintenance phase —
@@ -563,6 +728,98 @@ impl ServeRecord {
     }
 }
 
+/// The per-seed outcome of a traffic scenario's routing phase — a flattening
+/// of [`overlay_traffic::TrafficReport`] into the sweep row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficRecord {
+    /// Whether any traffic was routed at all (construction must produce an
+    /// overlay to route over; a failed build leaves everything below zeroed).
+    pub routed: bool,
+    /// Requests injected across all sources (and, on serving cells, across
+    /// all per-epoch waves).
+    pub injected: u64,
+    /// Requests that reached their destination.
+    pub delivered: u64,
+    /// Requests shed by queue overflow or lack of a route.
+    pub dropped: u64,
+    /// Requests aged out past their TTL while queued.
+    pub expired: u64,
+    /// Requests that vanished in flight (message loss under the spec's fault
+    /// load).
+    pub lost: u64,
+    /// Median hop count over delivered requests.
+    pub hops_p50: u32,
+    /// 99th-percentile hop count — the figure the `O(log n)` diameter bounds.
+    pub hops_p99: u32,
+    /// Worst hop count observed.
+    pub hops_max: u32,
+    /// Median rounds-to-delivery.
+    pub latency_p50: u32,
+    /// 99th-percentile rounds-to-delivery.
+    pub latency_p99: u32,
+    /// Worst rounds-to-delivery observed.
+    pub latency_max: u32,
+    /// Most messages any single directed edge carried.
+    pub max_edge_load: u32,
+    /// Most messages any single node forwarded.
+    pub max_node_forwards: u64,
+    /// Message rounds the traffic phase(s) executed.
+    pub rounds: usize,
+}
+
+impl TrafficRecord {
+    /// The zeroed record of a traffic cell whose construction failed: nothing
+    /// was routed, so nothing was delivered.
+    pub fn unrouted() -> Self {
+        TrafficRecord {
+            routed: false,
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            expired: 0,
+            lost: 0,
+            hops_p50: 0,
+            hops_p99: 0,
+            hops_max: 0,
+            latency_p50: 0,
+            latency_p99: 0,
+            latency_max: 0,
+            max_edge_load: 0,
+            max_node_forwards: 0,
+            rounds: 0,
+        }
+    }
+
+    fn from_report(report: &TrafficReport) -> Self {
+        TrafficRecord {
+            routed: true,
+            injected: report.injected,
+            delivered: report.delivered,
+            dropped: report.dropped,
+            expired: report.expired,
+            lost: report.lost,
+            hops_p50: report.hops_p50,
+            hops_p99: report.hops_p99,
+            hops_max: report.hops_max,
+            latency_p50: report.latency_p50,
+            latency_p99: report.latency_p99,
+            latency_max: report.latency_max,
+            max_edge_load: report.max_edge_load,
+            max_node_forwards: report.max_node_forwards,
+            rounds: report.rounds,
+        }
+    }
+
+    /// Delivered fraction in `[0, 1]` (1 when nothing was injected).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+}
+
 /// Everything a traced run reveals, produced by [`Scenario::run_traced`]: the
 /// sweep row, the full pipeline report (per-phase metrics included), and the
 /// structured event stream — the inputs the forensics analyzer works from.
@@ -593,6 +850,7 @@ impl Scenario {
             capacity: CapacityProfile::Standard,
             faults: FaultSpec::Clean,
             serve: None,
+            traffic: None,
             round_budget: RoundBudget::STANDARD,
             transport: None,
             phases: PhaseOverrides::none(),
@@ -616,6 +874,14 @@ impl Scenario {
     /// [`Scenario::with_reinvitation`].
     pub fn with_serve(mut self, spec: ServeSpec) -> Self {
         self.serve = Some(spec);
+        self
+    }
+
+    /// Declares the scenario a `traffic-*` cell: after construction the
+    /// finished overlay carries `spec`'s request workload (builder-style).
+    /// The traffic *axis* is [`Scenario::with_traffic_axis`].
+    pub fn with_traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = Some(spec);
         self
     }
 
@@ -808,6 +1074,36 @@ impl Scenario {
         twin
     }
 
+    /// Derives a traffic-axis twin of a traffic-carrying baseline: the
+    /// identical experiment (same construction, same faults) with a different
+    /// traffic spec — another workload shape, the tree routing policy, or
+    /// different pressure knobs. The suffix names what moved (e.g. `tree`,
+    /// `hotspot`); workload twins that should sit in the flat `traffic-*`
+    /// namespace follow with [`Scenario::renamed`].
+    ///
+    /// Name: `<base>-<suffix>`. Axis: [`VariantAxis::Traffic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the baseline carries no traffic, or when `spec` equals the
+    /// baseline's (the twin would be bit-for-bit the baseline).
+    pub fn with_traffic_axis(&self, suffix: &str, spec: TrafficSpec) -> Scenario {
+        let base = self
+            .traffic
+            .expect("a traffic-axis twin needs a traffic-carrying baseline");
+        assert!(
+            base != spec,
+            "baseline already runs this traffic spec; the twin would duplicate it"
+        );
+        let mut twin = self.clone();
+        twin.name = format!("{}-{suffix}", self.name);
+        twin.description = format!("Twin of {} with the {suffix} traffic spec", self.name);
+        twin.traffic = Some(spec);
+        twin.baseline = Some(self.name.clone());
+        twin.axis = Some(VariantAxis::Traffic);
+        twin
+    }
+
     /// `true` when any part of the run uses the reliable transport — the
     /// scenario-wide layer or a phase-scoped [`TransportChoice::Reliable`]
     /// override.
@@ -848,6 +1144,11 @@ impl Scenario {
         }
         if self.serve.is_some() {
             add("serve".to_string());
+        }
+        if let Some(traffic) = self.traffic {
+            add("traffic".to_string());
+            add(traffic.workload.label().to_string());
+            add(format!("route:{}", traffic.policy.label()));
         }
         if let Some(axis) = self.axis {
             add(format!("axis:{}", axis.label()));
@@ -891,21 +1192,10 @@ impl Scenario {
         }
     }
 
-    /// Runs the maintenance phase of a serving scenario against the expander a
-    /// finished construction produced. Returns `None` for non-serve scenarios
-    /// and the zeroed [`ServeRecord::unserved`] when construction failed
-    /// (there is no overlay to serve). The optional trace sink receives the
-    /// epoch/re-invite/repair events.
-    fn serve_record(
-        &self,
-        seed: u64,
-        report: &BuildReport,
-        trace: Option<SharedTraceSink>,
-    ) -> Option<ServeRecord> {
-        let spec = self.serve?;
-        let Some(result) = report.result.as_ref() else {
-            return Some(ServeRecord::unserved());
-        };
+    /// Builds the configured maintenance runner of a serving scenario over the
+    /// expander a finished construction produced.
+    fn maintenance_runner(&self, seed: u64, result: &OverlayResult) -> MaintenanceRunner {
+        let spec = self.serve.expect("a maintenance runner needs a serve spec");
         let mut params = ExpanderParams::for_n(self.actual_n()).with_seed(seed);
         self.capacity.apply(&mut params);
         let config = MaintenanceConfig {
@@ -926,11 +1216,214 @@ impl Scenario {
             crash_rate: spec.crash_rate,
             burst: spec.burst,
         };
-        let mut runner = MaintenanceRunner::new(result.expander.clone(), params, config, schedule);
+        MaintenanceRunner::new(result.expander.clone(), params, config, schedule)
+    }
+
+    /// Runs the maintenance phase of a serving scenario against the expander a
+    /// finished construction produced. Returns `None` for non-serve scenarios
+    /// and the zeroed [`ServeRecord::unserved`] when construction failed
+    /// (there is no overlay to serve). The optional trace sink receives the
+    /// epoch/re-invite/repair events.
+    fn serve_record(
+        &self,
+        seed: u64,
+        report: &BuildReport,
+        trace: Option<SharedTraceSink>,
+    ) -> Option<ServeRecord> {
+        self.serve?;
+        let Some(result) = report.result.as_ref() else {
+            return Some(ServeRecord::unserved());
+        };
+        let mut runner = self.maintenance_runner(seed, result);
         if let Some(sink) = trace {
             runner.set_trace_sink(sink);
         }
         Some(ServeRecord::from_outcome(&runner.run()))
+    }
+
+    /// Executes one traffic wave over `graph` on `exec`: builds the next-hop
+    /// table, pre-schedules the workload, and runs one [`Router`] per node.
+    /// `salt` differentiates repeated waves (0 for the single wave of a
+    /// build-then-route cell; the per-epoch reruns of a serving cell salt by
+    /// epoch) — same salt, same wave, on any executor.
+    pub fn run_traffic_over<E: PhaseExecutor>(
+        &self,
+        spec: &TrafficSpec,
+        graph: &UGraph,
+        seed: u64,
+        salt: u64,
+        exec: &mut E,
+    ) -> Result<ExecutedPhase<RouterSummary>, E::Error> {
+        let n = graph.node_count();
+        if n < 2 {
+            // A one-node overlay has nobody to talk to; an honest empty wave.
+            return Ok(ExecutedPhase {
+                summaries: Vec::new(),
+                alive: Vec::new(),
+                rounds: 0,
+                all_done: true,
+                delivered: 0,
+            });
+        }
+        let table = next_hops(graph);
+        let schedule = spec.workload.schedule(
+            n,
+            spec.requests_per_node,
+            spec.horizon,
+            traffic_workload_seed(seed, salt),
+        );
+        let config = spec.router_config();
+        let nodes: Vec<Router> = table
+            .into_iter()
+            .zip(schedule)
+            .enumerate()
+            .map(|(v, (row, reqs))| Router::new(v as u32, row, reqs, config))
+            .collect();
+        let faults = if spec.loss > 0.0 {
+            FaultPlan::default().with_drop_prob(spec.loss)
+        } else {
+            FaultPlan::default()
+        };
+        let max_degree = (0..n)
+            .map(|v| graph.distinct_neighbors(NodeId::from(v)).len())
+            .max()
+            .unwrap_or(0);
+        let exec_spec = PhaseExecSpec {
+            seed: seed
+                .wrapping_add(PhaseId::Traffic.index() as u64)
+                .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            // Provisioned above the worst-case receive load (every neighbor
+            // spending its whole forward budget on one target), with headroom
+            // for transport-layer acks and retransmissions, so the capacity
+            // model's seeded eviction never fires and congestion manifests
+            // only in the router's deterministic queue — identically on every
+            // backend.
+            ncc0_cap: (max_degree * spec.per_round_budget as usize * 4).max(64),
+            budget: spec.round_budget(),
+            transport: self.transport,
+        };
+        exec.execute(
+            Phase::from_parts(PhaseId::Traffic, nodes, spec.round_budget(), faults),
+            exec_spec,
+        )
+    }
+
+    /// Builds the overlay exactly as [`Scenario::run`] does (on the lockstep
+    /// simulator), then executes the scenario's traffic phase on `exec` — the
+    /// hook the backend-identity smoke uses to route the same workload over
+    /// the simulator and a thread-backed executor and compare delivery sets.
+    /// `None` when the scenario carries no traffic or construction failed.
+    pub fn traffic_summaries<E: PhaseExecutor>(
+        &self,
+        seed: u64,
+        exec: &mut E,
+    ) -> Option<Result<ExecutedPhase<RouterSummary>, E::Error>> {
+        let spec = self.traffic?;
+        let (_, g, plan, builder) = self.prepare(seed);
+        let report = builder
+            .build_under_faults(&g, &plan)
+            .expect("registry scenarios produce valid inputs");
+        let result = report.result?;
+        let graph = routing_graph(spec.policy, &result);
+        Some(self.run_traffic_over(&spec, &graph, seed, 0, exec))
+    }
+
+    /// Runs the traffic phase of a build-then-route cell over the finished
+    /// overlay. Returns `None` for non-traffic scenarios and the zeroed
+    /// [`TrafficRecord::unrouted`] when construction failed (there is no
+    /// overlay to route over).
+    fn traffic_record(
+        &self,
+        seed: u64,
+        report: &BuildReport,
+        trace: Option<&SharedTraceSink>,
+    ) -> Option<TrafficRecord> {
+        let spec = self.traffic?;
+        let Some(result) = report.result.as_ref() else {
+            return Some(TrafficRecord::unrouted());
+        };
+        let graph = routing_graph(spec.policy, result);
+        let mut exec = SimExecutor {
+            parallelism: self.parallelism,
+            metrics_mode: self.metrics_mode,
+        };
+        let run = self
+            .run_traffic_over(&spec, &graph, seed, 0, &mut exec)
+            .expect("the simulator cannot fail");
+        if let Some(sink) = trace {
+            emit_traffic_trace(
+                sink,
+                &spec,
+                graph.node_count(),
+                traffic_workload_seed(seed, 0),
+                &run,
+            );
+        }
+        let mut tally = TrafficTally::new();
+        tally.absorb(&run.summaries, run.rounds);
+        Some(TrafficRecord::from_report(&tally.report()))
+    }
+
+    /// Runs everything that follows construction: the maintenance phase, the
+    /// traffic phase, or — for a serving traffic cell — the interleaving of
+    /// both, where one traffic wave rides the *current* core overlay after
+    /// every maintenance epoch (churn degrades it, repair heals it, and the
+    /// delivered fraction measures what the service sustained in between).
+    fn post_build(
+        &self,
+        seed: u64,
+        report: &BuildReport,
+        trace: Option<SharedTraceSink>,
+    ) -> (Option<ServeRecord>, Option<TrafficRecord>) {
+        let (Some(spec), Some(tspec)) = (self.serve, self.traffic) else {
+            let serve = self.serve_record(seed, report, trace.clone());
+            let traffic = self.traffic_record(seed, report, trace.as_ref());
+            return (serve, traffic);
+        };
+        let Some(result) = report.result.as_ref() else {
+            return (
+                Some(ServeRecord::unserved()),
+                Some(TrafficRecord::unrouted()),
+            );
+        };
+        let mut runner = self.maintenance_runner(seed, result);
+        if let Some(sink) = trace.clone() {
+            runner.set_trace_sink(sink);
+        }
+        let mut exec = SimExecutor {
+            parallelism: self.parallelism,
+            metrics_mode: self.metrics_mode,
+        };
+        let mut tally = TrafficTally::new();
+        for epoch in 0..spec.epochs {
+            runner.step_epoch();
+            let graph = match tspec.policy {
+                RoutingPolicy::Greedy => runner.core_graph().clone(),
+                RoutingPolicy::Tree => match runner.tree() {
+                    Some(tree) => tree.to_ugraph(),
+                    None => continue,
+                },
+            };
+            let salt = epoch as u64 + 1;
+            let run = self
+                .run_traffic_over(&tspec, &graph, seed, salt, &mut exec)
+                .expect("the simulator cannot fail");
+            if let Some(sink) = trace.as_ref() {
+                emit_traffic_trace(
+                    sink,
+                    &tspec,
+                    graph.node_count(),
+                    traffic_workload_seed(seed, salt),
+                    &run,
+                );
+            }
+            tally.absorb(&run.summaries, run.rounds);
+        }
+        let outcome = runner.into_outcome();
+        (
+            Some(ServeRecord::from_outcome(&outcome)),
+            Some(TrafficRecord::from_report(&tally.report())),
+        )
     }
 
     /// Flattens a finished pipeline report (plus the maintenance phase of a
@@ -944,6 +1437,7 @@ impl Scenario {
         n: usize,
         report: &BuildReport,
         serve: Option<ServeRecord>,
+        traffic: Option<TrafficRecord>,
     ) -> RunRecord {
         let (tree_height, tree_degree) = report
             .result
@@ -973,6 +1467,7 @@ impl Scenario {
             joined: report.joined,
             stalled_phase: report.stalled_phase().unwrap_or(""),
             serve: None,
+            traffic: None,
         };
         if let Some(serve) = serve {
             record.coverage = serve.sustained_coverage;
@@ -981,6 +1476,12 @@ impl Scenario {
                 record.rounds += self.serve.expect("serve record implies spec").horizon();
             }
             record.serve = Some(serve);
+        }
+        if let Some(traffic) = traffic {
+            // Routing rounds count toward the run's horizon the way service
+            // rounds do.
+            record.rounds += traffic.rounds;
+            record.traffic = Some(traffic);
         }
         record
     }
@@ -991,8 +1492,8 @@ impl Scenario {
         let report = builder
             .build_under_faults(&g, &plan)
             .expect("registry scenarios produce valid inputs");
-        let serve = self.serve_record(seed, &report, None);
-        self.record_from(seed, n, &report, serve)
+        let (serve, traffic) = self.post_build(seed, &report, None);
+        self.record_from(seed, n, &report, serve, traffic)
     }
 
     /// Runs the scenario once under `seed` with full observability: the same
@@ -1006,10 +1507,10 @@ impl Scenario {
         let report = builder
             .build_under_faults_traced(&g, &plan, buf.clone())
             .expect("registry scenarios produce valid inputs");
-        let serve = self.serve_record(seed, &report, Some(buf.clone()));
+        let (serve, traffic) = self.post_build(seed, &report, Some(buf.clone()));
         let events = std::mem::take(&mut buf.borrow_mut().events);
         ForensicRun {
-            record: self.record_from(seed, n, &report, serve),
+            record: self.record_from(seed, n, &report, serve, traffic),
             report,
             events,
         }

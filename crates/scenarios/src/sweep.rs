@@ -236,6 +236,70 @@ impl SweepReport {
             .sum()
     }
 
+    /// Mean delivered fraction of the traffic phase across seeds (1.0 when
+    /// the scenario carries no traffic).
+    pub fn mean_delivered_fraction(&self) -> f64 {
+        let fractions: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.traffic.map(|t| t.delivered_fraction()))
+            .collect();
+        if fractions.is_empty() {
+            1.0
+        } else {
+            mean(fractions.into_iter())
+        }
+    }
+
+    /// Mean per-seed median rounds-to-delivery (0 without traffic).
+    pub fn mean_latency_p50(&self) -> f64 {
+        mean(self.traffic_records().map(|t| t.latency_p50 as f64))
+    }
+
+    /// Mean per-seed 99th-percentile rounds-to-delivery (0 without traffic).
+    pub fn mean_latency_p99(&self) -> f64 {
+        mean(self.traffic_records().map(|t| t.latency_p99 as f64))
+    }
+
+    /// Worst per-seed 99th-percentile hop count — the figure the overlay's
+    /// `O(log n)` diameter bounds (0 without traffic).
+    pub fn hops_p99_max(&self) -> u32 {
+        self.traffic_records()
+            .map(|t| t.hops_p99)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Most messages any single directed edge carried in any seed.
+    pub fn max_edge_load(&self) -> u32 {
+        self.traffic_records()
+            .map(|t| t.max_edge_load)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total requests injected across all runs.
+    pub fn total_injected(&self) -> u64 {
+        self.traffic_records().map(|t| t.injected).sum()
+    }
+
+    /// Total requests delivered across all runs.
+    pub fn total_traffic_delivered(&self) -> u64 {
+        self.traffic_records().map(|t| t.delivered).sum()
+    }
+
+    /// Total requests shed (overflow/unroutable), expired, or lost in flight
+    /// across all runs.
+    pub fn total_traffic_shed(&self) -> u64 {
+        self.traffic_records()
+            .map(|t| t.dropped + t.expired + t.lost)
+            .sum()
+    }
+
+    fn traffic_records(&self) -> impl Iterator<Item = crate::scenario::TrafficRecord> + '_ {
+        self.records.iter().filter_map(|r| r.traffic)
+    }
+
     /// The deterministic aggregate + per-seed report as a JSON value.
     ///
     /// Wall-clock time and worker count are environment facts, not results, and are
@@ -334,6 +398,41 @@ impl SweepReport {
                         "max_rounds_to_repair",
                         Json::Int(self.max_rounds_to_repair() as i64),
                     ),
+                ]),
+            ));
+        }
+        // The traffic phase of a traffic cell: spec echo plus workload-level
+        // aggregates. Conditional like serve, so every pre-traffic report
+        // keeps its exact historical header.
+        if let Some(spec) = self.scenario.traffic {
+            fields.push((
+                "traffic",
+                Json::obj(vec![
+                    ("workload", Json::Str(spec.workload.label().to_string())),
+                    ("policy", Json::Str(spec.policy.label().to_string())),
+                    (
+                        "requests_per_node",
+                        Json::Int(spec.requests_per_node as i64),
+                    ),
+                    ("horizon", Json::Int(spec.horizon as i64)),
+                    ("ttl", Json::Int(spec.ttl as i64)),
+                    ("queue_cap", Json::Int(spec.queue_cap as i64)),
+                    ("per_round_budget", Json::Int(spec.per_round_budget as i64)),
+                    ("loss", Json::Num(spec.loss)),
+                    (
+                        "mean_delivered_fraction",
+                        Json::Num(self.mean_delivered_fraction()),
+                    ),
+                    ("mean_latency_p50", Json::Num(self.mean_latency_p50())),
+                    ("mean_latency_p99", Json::Num(self.mean_latency_p99())),
+                    ("hops_p99_max", Json::Int(self.hops_p99_max() as i64)),
+                    ("max_edge_load", Json::Int(self.max_edge_load() as i64)),
+                    ("total_injected", Json::Int(self.total_injected() as i64)),
+                    (
+                        "total_delivered",
+                        Json::Int(self.total_traffic_delivered() as i64),
+                    ),
+                    ("total_shed", Json::Int(self.total_traffic_shed() as i64)),
                 ]),
             ));
         }
@@ -483,6 +582,30 @@ fn record_json(r: &RunRecord) -> Json {
             ]),
         ));
     }
+    // Traffic cells carry their workload outcome; classic rows keep the exact
+    // historical shape.
+    if let Some(t) = &r.traffic {
+        fields.push((
+            "traffic",
+            Json::obj(vec![
+                ("routed", Json::Bool(t.routed)),
+                ("injected", Json::Int(t.injected as i64)),
+                ("delivered", Json::Int(t.delivered as i64)),
+                ("dropped", Json::Int(t.dropped as i64)),
+                ("expired", Json::Int(t.expired as i64)),
+                ("lost", Json::Int(t.lost as i64)),
+                ("hops_p50", Json::Int(t.hops_p50 as i64)),
+                ("hops_p99", Json::Int(t.hops_p99 as i64)),
+                ("hops_max", Json::Int(t.hops_max as i64)),
+                ("latency_p50", Json::Int(t.latency_p50 as i64)),
+                ("latency_p99", Json::Int(t.latency_p99 as i64)),
+                ("latency_max", Json::Int(t.latency_max as i64)),
+                ("max_edge_load", Json::Int(t.max_edge_load as i64)),
+                ("max_node_forwards", Json::Int(t.max_node_forwards as i64)),
+                ("rounds", Json::Int(t.rounds as i64)),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -583,6 +706,28 @@ mod tests {
         );
         let parsed = Json::parse(&rendered).expect("report with overrides parses");
         assert!(parsed.render().contains("phase_overrides"));
+    }
+
+    #[test]
+    fn traffic_fields_appear_in_the_report_only_for_traffic_cells() {
+        let rendered = Sweep::over_seeds(find("clean-line").unwrap(), 0, 2)
+            .run()
+            .to_json_string();
+        assert!(
+            !rendered.contains("\"traffic\""),
+            "traffic-free scenarios must keep the historical shape: {rendered}"
+        );
+        let report = Sweep::over_seeds(find("traffic-uniform").unwrap(), 0, 2).run();
+        let rendered = report.to_json_string();
+        assert!(rendered.contains("\"traffic\""), "{rendered}");
+        assert!(rendered.contains("\"workload\": \"uniform\""), "{rendered}");
+        assert!(rendered.contains("\"hops_p99\""), "{rendered}");
+        assert!(rendered.contains("\"latency_p50\""), "{rendered}");
+        // The clean expander delivers everything it injects.
+        assert!((report.mean_delivered_fraction() - 1.0).abs() < 1e-12);
+        assert!(report.total_injected() > 0);
+        let parsed = Json::parse(&rendered).expect("traffic report parses");
+        assert_eq!(parsed.render(), report.to_json().render());
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! | `epoch` | `epoch`, `round`, `alive`, `stragglers` | maintenance epoch boundary processed |
 //! | `re-invite` | `epoch`, `joiner`, `contact`, `delivered` | re-invitation issued to a straggler |
 //! | `repair` | `epoch`, `healed`, `tree-valid` | repair evolution ran at an epoch boundary |
+//! | `request-injected` | `round`, `src`, `dst` | a traffic request entered its source's queue |
+//! | `request-delivered` | `round`, `dst`, `hops`, `latency` | a traffic request reached its destination |
+//! | `request-dropped` | `node`, `dropped`, `expired` | per-node traffic shed rollup (overflow/no-route vs TTL) |
 //!
 //! `round` numbers restart at 0 inside each `phase-start`/`phase-end` pair
 //! (each phase is its own simulation). `from`/`to`/`node` are node indices
@@ -148,6 +151,34 @@ pub fn event_json(event: &TraceEvent) -> Json {
             ("epoch", uint(epoch)),
             ("healed", uint(healed)),
             ("tree-valid", Json::Bool(tree_valid)),
+        ]),
+        TraceEvent::RequestInjected { round, src, dst } => Json::obj(vec![
+            ("event", Json::Str("request-injected".into())),
+            ("round", uint(round)),
+            ("src", uint(src.index())),
+            ("dst", uint(dst.index())),
+        ]),
+        TraceEvent::RequestDelivered {
+            round,
+            dst,
+            hops,
+            latency,
+        } => Json::obj(vec![
+            ("event", Json::Str("request-delivered".into())),
+            ("round", uint(round)),
+            ("dst", uint(dst.index())),
+            ("hops", uint(hops)),
+            ("latency", uint(latency)),
+        ]),
+        TraceEvent::RequestDropped {
+            node,
+            dropped,
+            expired,
+        } => Json::obj(vec![
+            ("event", Json::Str("request-dropped".into())),
+            ("node", uint(node.index())),
+            ("dropped", uint(dropped)),
+            ("expired", uint(expired)),
         ]),
     }
 }

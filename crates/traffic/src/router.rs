@@ -1,0 +1,483 @@
+//! The router protocol: one node per overlay member, forwarding scheduled
+//! requests along precomputed next-hop tables.
+//!
+//! Routing is table-driven and the tables are built harness-side from the
+//! *finished* overlay ([`next_hops`]): greedy shortest-path next hops over the
+//! expander edges, or the same construction over the binarized tree's edges
+//! for the tree policy. Per round, a node absorbs arrivals, injects its
+//! scheduled requests, ages out packets past their TTL, forwards up to its
+//! per-round budget (FIFO), and sheds queue overflow — all without drawing
+//! from its RNG, so the run is bitwise identical across the simulator and the
+//! thread-backed runners.
+
+use overlay_graph::{NodeId, UGraph};
+use overlay_netsim::wire::{Wire, WireError};
+use overlay_netsim::{Ctx, Envelope, Protocol};
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::workload::Request;
+use overlay_core::Summarize;
+
+/// Sentinel next-hop entry: no route from this node to that destination.
+pub const UNROUTABLE: u32 = u32::MAX;
+
+/// Which edge set requests ride over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Greedy shortest-path forwarding over the expander's edges — the
+    /// low-diameter, low-congestion payoff the construction promises.
+    Greedy,
+    /// Forwarding over the binarized tree's edges only: the fallback/compare
+    /// policy (unique paths, so the root area concentrates load).
+    Tree,
+}
+
+impl RoutingPolicy {
+    /// Short kebab-case label, used in scenario names and report headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Greedy => "greedy",
+            RoutingPolicy::Tree => "tree",
+        }
+    }
+}
+
+/// Builds the full next-hop table of `graph`: `table[src][dst]` is the
+/// neighbor `src` forwards to for `dst` ([`UNROUTABLE`] when `dst` is `src`
+/// itself or unreachable).
+///
+/// For each destination a BFS computes hop distances, and every source picks
+/// the neighbor strictly closer to the destination, ties broken by smallest
+/// node id — so the table (and every path routed over it) is a pure function
+/// of the graph. `O(n·(n+m))`, fine at the registry's committed sizes.
+pub fn next_hops(graph: &UGraph) -> Vec<Vec<u32>> {
+    let n = graph.node_count();
+    let adj: Vec<Vec<u32>> = (0..n)
+        .map(|v| {
+            graph
+                .distinct_neighbors(NodeId::from(v))
+                .into_iter()
+                .map(|u| u.index() as u32)
+                .collect()
+        })
+        .collect();
+    let mut table = vec![vec![UNROUTABLE; n]; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for dst in 0..n {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[dst] = 0;
+        queue.clear();
+        queue.push_back(dst as u32);
+        while let Some(v) = queue.pop_front() {
+            for &u in &adj[v as usize] {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        for src in 0..n {
+            if src == dst || dist[src] == u32::MAX {
+                continue;
+            }
+            // The strictly-closer neighbor with the smallest id; adjacency
+            // lists from `distinct_neighbors` are sorted, so the first hit
+            // wins.
+            for &nb in &adj[src] {
+                if dist[nb as usize] < dist[src] {
+                    table[src][dst] = nb;
+                    break;
+                }
+            }
+        }
+    }
+    table
+}
+
+/// One routed message: the request id, where it is going, when it was
+/// injected, and how many edges it has crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterMsg {
+    /// Globally unique request id: `(source << 32) | per-source sequence`.
+    pub id: u64,
+    /// Destination node index.
+    pub dst: u32,
+    /// Round the source injected the request in.
+    pub injected: u32,
+    /// Edges crossed so far (1 on first arrival at a neighbor).
+    pub hops: u32,
+}
+
+impl Wire for RouterMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.dst.encode(out);
+        self.injected.encode(out);
+        self.hops.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(RouterMsg {
+            id: u64::decode(buf)?,
+            dst: u32::decode(buf)?,
+            injected: u32::decode(buf)?,
+            hops: u32::decode(buf)?,
+        })
+    }
+}
+
+/// One completed delivery, recorded by the destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The request id.
+    pub id: u64,
+    /// Edges the request crossed.
+    pub hops: u32,
+    /// Round the source injected it in.
+    pub injected: u32,
+    /// Round it reached the destination in.
+    pub delivered: u32,
+}
+
+impl Wire for Delivery {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.hops.encode(out);
+        self.injected.encode(out);
+        self.delivered.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Delivery {
+            id: u64::decode(buf)?,
+            hops: u32::decode(buf)?,
+            injected: u32::decode(buf)?,
+            delivered: u32::decode(buf)?,
+        })
+    }
+}
+
+/// The router's tunables. All limits are per node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Rounds a packet may age (round − injection round) before the holding
+    /// node expires it.
+    pub ttl: u32,
+    /// Queue slots; packets shed from the back beyond this count as dropped.
+    pub queue_cap: u32,
+    /// Forwards per round — the router's own NCC0-style send discipline
+    /// (keep it at or below the phase's capacity cap so the medium never
+    /// truncates sends behind the router's back).
+    pub per_round_budget: u32,
+}
+
+/// Per-node router state: next-hop row, injection schedule, FIFO queue, and
+/// the delivery/drop ledgers the [`RouterSummary`] digests.
+#[derive(Debug)]
+pub struct Router {
+    me: u32,
+    next_hop: Vec<u32>,
+    schedule: Vec<Request>,
+    next_inject: usize,
+    config: RouterConfig,
+    queue: VecDeque<RouterMsg>,
+    seq: u32,
+    injected: u32,
+    deliveries: Vec<Delivery>,
+    dropped: Vec<u64>,
+    expired: Vec<u64>,
+    forwards: u64,
+    edge_load: BTreeMap<u32, u32>,
+    quiet: bool,
+}
+
+impl Router {
+    /// A router for node `me` with its next-hop row (`next_hop[dst]`,
+    /// [`UNROUTABLE`] for no route) and its injection schedule (round-sorted,
+    /// as [`crate::Workload::schedule`] produces).
+    pub fn new(me: u32, next_hop: Vec<u32>, schedule: Vec<Request>, config: RouterConfig) -> Self {
+        Router {
+            me,
+            next_hop,
+            schedule,
+            next_inject: 0,
+            config,
+            queue: VecDeque::new(),
+            seq: 0,
+            injected: 0,
+            deliveries: Vec::new(),
+            dropped: Vec::new(),
+            expired: Vec::new(),
+            forwards: 0,
+            edge_load: BTreeMap::new(),
+            quiet: false,
+        }
+    }
+
+    fn enqueue_or_shed(&mut self, msg: RouterMsg) {
+        if (self.queue.len() as u32) < self.config.queue_cap {
+            self.queue.push_back(msg);
+        } else {
+            self.dropped.push(msg.id);
+        }
+    }
+}
+
+impl Protocol for Router {
+    type Message = RouterMsg;
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, RouterMsg>) {
+        // Injections start at round 1; the start round only exists so the
+        // executors' round-0 convention lines up with the other phases.
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, RouterMsg>, inbox: &[Envelope<RouterMsg>]) {
+        let round = ctx.round() as u32;
+        let mut active = !inbox.is_empty();
+        // Absorb arrivals (inbox order is the deterministic per-backend
+        // delivery order: sender id, then send order).
+        for env in inbox {
+            let msg = env.payload;
+            if msg.dst == self.me {
+                self.deliveries.push(Delivery {
+                    id: msg.id,
+                    hops: msg.hops,
+                    injected: msg.injected,
+                    delivered: round,
+                });
+            } else {
+                self.enqueue_or_shed(msg);
+            }
+        }
+        // Inject this round's scheduled requests.
+        while self
+            .schedule
+            .get(self.next_inject)
+            .is_some_and(|r| r.round <= round)
+        {
+            let req = self.schedule[self.next_inject];
+            self.next_inject += 1;
+            let id = ((self.me as u64) << 32) | self.seq as u64;
+            self.seq += 1;
+            self.injected += 1;
+            active = true;
+            self.enqueue_or_shed(RouterMsg {
+                id,
+                dst: req.dst,
+                injected: round,
+                hops: 0,
+            });
+        }
+        // Age out packets past their TTL.
+        let ttl = self.config.ttl;
+        let expired = &mut self.expired;
+        self.queue.retain(|m| {
+            if round - m.injected >= ttl {
+                expired.push(m.id);
+                false
+            } else {
+                true
+            }
+        });
+        // Forward FIFO up to the per-round budget.
+        let mut sent = 0;
+        while sent < self.config.per_round_budget {
+            let Some(msg) = self.queue.pop_front() else {
+                break;
+            };
+            let hop = self.next_hop[msg.dst as usize];
+            if hop == UNROUTABLE {
+                self.dropped.push(msg.id);
+                continue;
+            }
+            ctx.send_global(
+                NodeId::from(hop as usize),
+                RouterMsg {
+                    hops: msg.hops + 1,
+                    ..msg
+                },
+            );
+            *self.edge_load.entry(hop).or_insert(0) += 1;
+            self.forwards += 1;
+            sent += 1;
+        }
+        active |= sent > 0;
+        self.quiet = !active;
+    }
+
+    fn is_done(&self) -> bool {
+        // Done only after a fully quiet round: schedule drained, queue empty,
+        // nothing received and nothing sent. If *every* node is in this state
+        // simultaneously, no message is in flight anywhere, so stopping the
+        // run discards nothing.
+        self.next_inject == self.schedule.len() && self.queue.is_empty() && self.quiet
+    }
+}
+
+/// What the traffic phase hand-off gathers from each node: its delivery and
+/// drop ledgers plus its load counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterSummary {
+    /// Requests this node injected.
+    pub injected: u32,
+    /// Requests delivered *to* this node, in arrival order.
+    pub deliveries: Vec<Delivery>,
+    /// Request ids this node shed (queue overflow or no route).
+    pub dropped: Vec<u64>,
+    /// Request ids this node aged out past their TTL.
+    pub expired: Vec<u64>,
+    /// Messages this node forwarded in total (its per-node load).
+    pub forwards: u64,
+    /// The most-loaded incident out-edge's message count.
+    pub max_edge_load: u32,
+}
+
+impl Wire for RouterSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.injected.encode(out);
+        self.deliveries.encode(out);
+        self.dropped.encode(out);
+        self.expired.encode(out);
+        self.forwards.encode(out);
+        self.max_edge_load.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(RouterSummary {
+            injected: u32::decode(buf)?,
+            deliveries: Vec::decode(buf)?,
+            dropped: Vec::decode(buf)?,
+            expired: Vec::decode(buf)?,
+            forwards: u64::decode(buf)?,
+            max_edge_load: u32::decode(buf)?,
+        })
+    }
+}
+
+impl Summarize for Router {
+    type Summary = RouterSummary;
+
+    fn summarize(&self) -> RouterSummary {
+        RouterSummary {
+            injected: self.injected,
+            deliveries: self.deliveries.clone(),
+            dropped: self.dropped.clone(),
+            expired: self.expired.clone(),
+            forwards: self.forwards,
+            max_edge_load: self.edge_load.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(n: usize) -> UGraph {
+        let mut g = UGraph::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(NodeId::from(v), NodeId::from(v + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn next_hops_route_along_shortest_paths() {
+        let table = next_hops(&line_graph(5));
+        // From 0 toward 4, every hop steps right.
+        assert_eq!(table[0][4], 1);
+        assert_eq!(table[1][4], 2);
+        assert_eq!(table[3][4], 4);
+        // Self-routes are unroutable by construction.
+        assert_eq!(table[2][2], UNROUTABLE);
+    }
+
+    #[test]
+    fn next_hops_mark_disconnected_pairs() {
+        let mut g = UGraph::new(4);
+        g.add_edge(NodeId::from(0usize), NodeId::from(1usize));
+        g.add_edge(NodeId::from(2usize), NodeId::from(3usize));
+        let table = next_hops(&g);
+        assert_eq!(table[0][1], 1);
+        assert_eq!(table[0][2], UNROUTABLE);
+        assert_eq!(table[3][1], UNROUTABLE);
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let msg = RouterMsg {
+            id: (7u64 << 32) | 3,
+            dst: 9,
+            injected: 4,
+            hops: 2,
+        };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(RouterMsg::decode(&mut slice).unwrap(), msg);
+        assert!(slice.is_empty());
+
+        let summary = RouterSummary {
+            injected: 2,
+            deliveries: vec![Delivery {
+                id: 1,
+                hops: 3,
+                injected: 1,
+                delivered: 4,
+            }],
+            dropped: vec![5, 6],
+            expired: vec![],
+            forwards: 11,
+            max_edge_load: 4,
+        };
+        let mut buf = Vec::new();
+        summary.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(RouterSummary::decode(&mut slice).unwrap(), summary);
+        assert!(slice.is_empty());
+        // Truncated buffers are an error, not a panic.
+        let mut short = &buf[..3];
+        assert!(RouterSummary::decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn queue_overflow_sheds_and_ttl_expires() {
+        let config = RouterConfig {
+            ttl: 2,
+            queue_cap: 1,
+            per_round_budget: 0,
+        };
+        // Node 1 on a 3-line, zero forward budget: everything it receives
+        // queues, overflows, then expires.
+        let table = next_hops(&line_graph(3));
+        let mut router = Router::new(1, table[1].clone(), Vec::new(), config);
+        let mut outbox = Vec::new();
+        let mut rng = overlay_netsim::node_rng(0, 1);
+        let inbox: Vec<Envelope<RouterMsg>> = (0..3)
+            .map(|k| Envelope {
+                from: NodeId::from(0usize),
+                channel: overlay_netsim::Channel::Global,
+                payload: RouterMsg {
+                    id: k,
+                    dst: 2,
+                    injected: 1,
+                    hops: 1,
+                },
+            })
+            .collect();
+        let mut ctx = Ctx::external(NodeId::from(1usize), 1, 3, &mut rng, &mut outbox);
+        router.on_round(&mut ctx, &inbox);
+        // One queued, two shed.
+        assert_eq!(router.summarize().dropped, vec![1, 2]);
+        assert!(!router.is_done());
+        // Two quiet rounds later the survivor ages out.
+        for round in 2..4 {
+            let mut ctx = Ctx::external(NodeId::from(1usize), round, 3, &mut rng, &mut outbox);
+            router.on_round(&mut ctx, &[]);
+        }
+        assert_eq!(router.summarize().expired, vec![0]);
+        assert!(router.is_done());
+        assert!(outbox.is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Seeded request-workload generators.
+//!
+//! A workload turns `(n, requests-per-node, horizon, seed)` into a complete
+//! per-source injection schedule before the first protocol round runs. All
+//! randomness is spent here, in one pass over a single seeded RNG, so the
+//! schedule — and therefore the whole traffic run — is a pure function of its
+//! arguments, and the router protocol itself never touches its per-node RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled request: injected by its source at `round`, addressed to
+/// `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Protocol round (≥ 1) at which the source injects the request.
+    pub round: u32,
+    /// Destination node index.
+    pub dst: u32,
+}
+
+/// The shape of a request workload — who talks to whom, and when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Independent uniformly random destinations: the symmetric base case the
+    /// expander's constant-congestion claim is stated for.
+    Uniform,
+    /// Zipf-skewed destination popularity with the given exponent: node 0 is
+    /// the most popular destination, node `k` has weight `(k+1)^-exponent`.
+    /// Models the skewed request mixes real services see.
+    Zipf {
+        /// The Zipf exponent `s > 0`; larger is more skewed.
+        exponent: f64,
+    },
+    /// Every request targets one seed-chosen node: the adversarial all-to-one
+    /// case that stresses the edges around the target.
+    Hotspot,
+    /// Uniform background traffic plus a burst window in which *every* node
+    /// injects one request per round toward one seed-chosen celebrity node.
+    FlashCrowd {
+        /// First round of the burst window.
+        burst_at: u32,
+        /// Length of the burst window in rounds.
+        burst_len: u32,
+    },
+}
+
+impl Workload {
+    /// Short kebab-case label, used in scenario tags and report headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Zipf { .. } => "zipf",
+            Workload::Hotspot => "hotspot",
+            Workload::FlashCrowd { .. } => "flash-crowd",
+        }
+    }
+
+    /// Draws the complete injection schedule: one request list per source
+    /// node, each sorted by round (ties by destination, then draw order).
+    ///
+    /// Sources are visited in node order and all draws come from one
+    /// `StdRng::seed_from_u64(seed)` stream, so the schedule is a pure
+    /// function of `(self, n, requests_per_node, horizon, seed)`. Injection
+    /// rounds land in `1..=horizon`. A destination that would equal its
+    /// source is remapped to the next node (`(dst + 1) % n`) — the overlay
+    /// carries traffic, not loopbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `horizon == 0`.
+    pub fn schedule(
+        &self,
+        n: usize,
+        requests_per_node: u32,
+        horizon: u32,
+        seed: u64,
+    ) -> Vec<Vec<Request>> {
+        assert!(n > 0, "workloads need at least one node");
+        assert!(horizon > 0, "injection horizon must be at least one round");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Seed-chosen focal node for the single-destination workloads.
+        let focus = (rng.gen_range(0..n as u64)) as u32;
+        let zipf_cdf = match self {
+            Workload::Zipf { exponent } => Some(zipf_cdf(n, *exponent)),
+            _ => None,
+        };
+        let mut out = Vec::with_capacity(n);
+        for src in 0..n as u32 {
+            let mut reqs: Vec<Request> = Vec::new();
+            for _ in 0..requests_per_node {
+                let round = rng.gen_range(1..horizon + 1);
+                let dst = match self {
+                    Workload::Uniform | Workload::FlashCrowd { .. } => {
+                        rng.gen_range(0..n as u64) as u32
+                    }
+                    Workload::Zipf { .. } => {
+                        let u: f64 = rng.gen();
+                        sample_cdf(zipf_cdf.as_deref().expect("cdf built"), u)
+                    }
+                    Workload::Hotspot => focus,
+                };
+                reqs.push(Request {
+                    round,
+                    dst: remap_self(src, dst, n),
+                });
+            }
+            if let Workload::FlashCrowd {
+                burst_at,
+                burst_len,
+            } = *self
+            {
+                for round in burst_at..burst_at.saturating_add(burst_len) {
+                    reqs.push(Request {
+                        round: round.max(1),
+                        dst: remap_self(src, focus, n),
+                    });
+                }
+            }
+            reqs.sort_by_key(|r| (r.round, r.dst));
+            out.push(reqs);
+        }
+        out
+    }
+
+    /// Total requests the schedule injects across all nodes — the denominator
+    /// of every delivered-percentage figure.
+    pub fn total_requests(&self, n: usize, requests_per_node: u32) -> u64 {
+        let base = n as u64 * requests_per_node as u64;
+        match self {
+            Workload::FlashCrowd { burst_len, .. } => base + n as u64 * *burst_len as u64,
+            _ => base,
+        }
+    }
+}
+
+/// Remaps a self-addressed destination to the next node.
+fn remap_self(src: u32, dst: u32, n: usize) -> u32 {
+    if dst == src {
+        (dst + 1) % n as u32
+    } else {
+        dst
+    }
+}
+
+/// Cumulative Zipf weights over destinations `0..n` (rank = node index + 1).
+fn zipf_cdf(n: usize, exponent: f64) -> Vec<f64> {
+    assert!(exponent > 0.0, "Zipf exponent must be positive");
+    let mut cdf = Vec::with_capacity(n);
+    let mut sum = 0.0;
+    for k in 0..n {
+        sum += ((k + 1) as f64).powf(-exponent);
+        cdf.push(sum);
+    }
+    let total = sum;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Inverse-CDF sampling by binary search: the first index whose cumulative
+/// weight exceeds `u`.
+fn sample_cdf(cdf: &[f64], u: f64) -> u32 {
+    let mut lo = 0usize;
+    let mut hi = cdf.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if cdf[mid] < u {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_their_arguments() {
+        for workload in [
+            Workload::Uniform,
+            Workload::Zipf { exponent: 1.1 },
+            Workload::Hotspot,
+            Workload::FlashCrowd {
+                burst_at: 4,
+                burst_len: 3,
+            },
+        ] {
+            let a = workload.schedule(32, 4, 16, 7);
+            let b = workload.schedule(32, 4, 16, 7);
+            assert_eq!(a, b, "{workload:?} is not deterministic");
+            let c = workload.schedule(32, 4, 16, 8);
+            assert_ne!(a, c, "{workload:?} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn schedules_respect_shape_invariants() {
+        let n = 24;
+        for workload in [
+            Workload::Uniform,
+            Workload::Zipf { exponent: 1.3 },
+            Workload::Hotspot,
+            Workload::FlashCrowd {
+                burst_at: 3,
+                burst_len: 2,
+            },
+        ] {
+            let sched = workload.schedule(n, 3, 10, 42);
+            assert_eq!(sched.len(), n);
+            let mut total = 0u64;
+            for (src, reqs) in sched.iter().enumerate() {
+                total += reqs.len() as u64;
+                for w in reqs.windows(2) {
+                    assert!(w[0].round <= w[1].round, "schedule must be round-sorted");
+                }
+                for r in reqs {
+                    assert!(r.round >= 1, "round-0 injections are not allowed");
+                    assert!((r.dst as usize) < n, "destination out of range");
+                    assert_ne!(r.dst as usize, src, "self-traffic must be remapped");
+                }
+            }
+            assert_eq!(total, workload.total_requests(n, 3));
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_node_and_flash_crowd_bursts() {
+        let sched = Workload::Hotspot.schedule(16, 2, 8, 5);
+        let mut dsts: Vec<u32> = sched.iter().flatten().map(|r| r.dst).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        // The focal node plus at most its remap neighbor (when the focus
+        // sources to itself).
+        assert!(dsts.len() <= 2, "hotspot spread over {dsts:?}");
+
+        let flash = Workload::FlashCrowd {
+            burst_at: 5,
+            burst_len: 2,
+        };
+        let sched = flash.schedule(16, 1, 8, 5);
+        for reqs in &sched {
+            assert!(
+                reqs.iter().filter(|r| (5..7).contains(&r.round)).count() >= 2,
+                "every node fires during the burst window"
+            );
+        }
+    }
+
+    /// Pins the exact RNG streams of the skewed samplers: any change to the
+    /// draw order, the CDF construction, or the self-remap rule shows up here
+    /// before it silently invalidates every committed traffic baseline.
+    #[test]
+    fn zipf_and_hotspot_rng_streams_are_pinned() {
+        let zipf = Workload::Zipf { exponent: 1.1 }.schedule(8, 3, 6, 1);
+        assert_eq!(
+            zipf[0],
+            vec![
+                Request { round: 4, dst: 7 },
+                Request { round: 5, dst: 1 },
+                Request { round: 5, dst: 1 },
+            ],
+            "Zipf sampler stream moved"
+        );
+        assert_eq!(
+            zipf[7],
+            vec![
+                Request { round: 2, dst: 0 },
+                Request { round: 4, dst: 2 },
+                Request { round: 5, dst: 1 },
+            ],
+            "Zipf sampler stream moved"
+        );
+        let hot = Workload::Hotspot.schedule(8, 2, 6, 1);
+        assert_eq!(
+            hot[0],
+            vec![Request { round: 1, dst: 6 }, Request { round: 5, dst: 6 }],
+            "hotspot sampler stream moved"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sched = Workload::Zipf { exponent: 1.5 }.schedule(64, 16, 32, 3);
+        let hits_low = sched.iter().flatten().filter(|r| r.dst < 8).count() as f64;
+        let total = sched.iter().map(Vec::len).sum::<usize>() as f64;
+        assert!(
+            hits_low / total > 0.4,
+            "low ranks drew only {:.2} of the traffic",
+            hits_low / total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_populations_are_rejected() {
+        let _ = Workload::Uniform.schedule(0, 1, 1, 0);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`core`] (`overlay-core`) — the `CreateExpander` pipeline of Theorem 1.1, with
 //!   each paper phase a first-class `Phase` value (`overlay_core::pipeline`) and
 //!   per-phase round-budget/transport overrides,
+//! * [`traffic`] (`overlay-traffic`) — request workloads routed over the finished
+//!   overlay: seeded workload generators, a greedy/tree router protocol, and
+//!   latency/congestion reports measuring what the paper's guarantees bought,
 //! * [`hybrid`] (`overlay-hybrid`) — connected components, spanning trees, biconnected
 //!   components and MIS in the hybrid model (Theorems 1.2–1.5),
 //! * [`net`] (`overlay-net`) — the same protocol code over real byte streams: a
@@ -49,4 +52,5 @@ pub use overlay_hybrid as hybrid;
 pub use overlay_net as net;
 pub use overlay_netsim as netsim;
 pub use overlay_scenarios as scenarios;
+pub use overlay_traffic as traffic;
 pub use overlay_transport as transport;

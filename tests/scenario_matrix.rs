@@ -66,6 +66,19 @@ fn assert_mirrors_baseline(base: &Scenario, twin: &Scenario) {
             assert_eq!(base.transport, twin.transport, "{}", twin.name);
             assert_eq!(base.round_budget, twin.round_budget, "{}", twin.name);
         }
+        VariantAxis::Traffic => {
+            assert!(
+                base.traffic.is_some() && twin.traffic.is_some(),
+                "{}: a traffic twin varies one traffic spec against another",
+                twin.name
+            );
+            assert_ne!(base.traffic, twin.traffic, "{}", twin.name);
+            assert_eq!(base.n, twin.n, "{}", twin.name);
+            assert_eq!(base.capacity, twin.capacity, "{}", twin.name);
+            assert_eq!(base.transport, twin.transport, "{}", twin.name);
+            assert_eq!(base.round_budget, twin.round_budget, "{}", twin.name);
+            assert_eq!(base.serve, twin.serve, "{}", twin.name);
+        }
         VariantAxis::Phases => {
             assert!(!twin.phases.is_empty(), "{}", twin.name);
             assert_ne!(base.phases, twin.phases, "{}", twin.name);
@@ -78,6 +91,13 @@ fn assert_mirrors_baseline(base: &Scenario, twin: &Scenario) {
     // Axes shared by every kind: the experiment itself is the baseline's.
     assert_eq!(base.family, twin.family, "{}", twin.name);
     assert_eq!(base.faults, twin.faults, "{}", twin.name);
+    if axis != VariantAxis::Traffic {
+        assert_eq!(
+            base.traffic, twin.traffic,
+            "{}: only a traffic twin may vary the workload",
+            twin.name
+        );
+    }
 }
 
 /// Registry-wide generalization of the old hardcoded
